@@ -1,0 +1,118 @@
+//! Random (non-targeted) edge-insertion attack (Sec. V-C / Fig. 2 / Fig. 5).
+//!
+//! At perturbation rate `δ`, injects `⌊δ·|E|⌋` fake edges drawn uniformly
+//! from the non-edges (`E* ∩ E = ∅`), matching the paper's definition of the
+//! random poisoning attack.
+
+use aneci_graph::AttributedGraph;
+use aneci_linalg::rng::{derive_seed, seeded_rng};
+use rand::Rng;
+
+/// Result of a random attack.
+pub struct RandomAttack {
+    /// The poisoned graph.
+    pub graph: AttributedGraph,
+    /// The injected fake edges `E*` (canonical `u < v`).
+    pub fake_edges: Vec<(usize, usize)>,
+}
+
+/// Injects `⌊rate·|E|⌋` uniformly random fake edges. Deterministic in
+/// `seed`.
+///
+/// # Panics
+/// Panics when `rate` is negative or the graph is too dense to host the
+/// requested number of new edges.
+pub fn random_attack(graph: &AttributedGraph, rate: f64, seed: u64) -> RandomAttack {
+    assert!(rate >= 0.0, "perturbation rate must be non-negative");
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    let want = (rate * m as f64).floor() as usize;
+    let capacity = n * (n - 1) / 2 - m;
+    assert!(
+        want <= capacity,
+        "graph cannot host {want} new edges (capacity {capacity})"
+    );
+
+    let mut rng = seeded_rng(derive_seed(seed, 0x4A7));
+    let mut fake = Vec::with_capacity(want);
+    let mut placed = std::collections::HashSet::new();
+    while fake.len() < want {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if graph.has_edge(key.0, key.1) || !placed.insert(key) {
+            continue;
+        }
+        fake.push(key);
+    }
+    let attacked = graph.with_edits(&fake, &[]);
+    RandomAttack {
+        graph: attacked,
+        fake_edges: fake,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aneci_graph::karate_club;
+
+    #[test]
+    fn injects_exact_count_of_new_edges() {
+        let g = karate_club();
+        let atk = random_attack(&g, 0.25, 1);
+        let want = (0.25_f64 * 78.0).floor() as usize;
+        assert_eq!(atk.fake_edges.len(), want);
+        assert_eq!(atk.graph.num_edges(), 78 + want);
+        // Every fake edge is new and now present.
+        for &(u, v) in &atk.fake_edges {
+            assert!(!g.has_edge(u, v));
+            assert!(atk.graph.has_edge(u, v));
+        }
+        atk.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let g = karate_club();
+        let atk = random_attack(&g, 0.0, 2);
+        assert!(atk.fake_edges.is_empty());
+        assert_eq!(atk.graph.edge_list(), g.edge_list());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = karate_club();
+        assert_eq!(
+            random_attack(&g, 0.3, 3).fake_edges,
+            random_attack(&g, 0.3, 3).fake_edges
+        );
+        assert_ne!(
+            random_attack(&g, 0.3, 3).fake_edges,
+            random_attack(&g, 0.3, 4).fake_edges
+        );
+    }
+
+    #[test]
+    fn features_and_labels_untouched() {
+        let g = karate_club();
+        let atk = random_attack(&g, 0.5, 5);
+        assert_eq!(atk.graph.features(), g.features());
+        assert_eq!(atk.graph.labels, g.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn rejects_impossible_rate() {
+        // Complete graph on 4 nodes has no room.
+        let g = aneci_graph::AttributedGraph::from_edges_plain(
+            4,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+            None,
+        );
+        random_attack(&g, 1.0, 6);
+    }
+}

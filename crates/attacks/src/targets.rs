@@ -1,0 +1,81 @@
+//! Target-node selection for the targeted attacks.
+//!
+//! The paper follows RGCN [30]: "the nodes in test set with degree larger
+//! than 10 are set as target nodes". On sparse or down-scaled graphs that
+//! set can be empty, so a fallback picks the highest-degree test nodes.
+
+use aneci_graph::AttributedGraph;
+
+/// Test-set nodes with degree `> min_degree` (paper: 10). When fewer than
+/// `min_count` qualify, the highest-degree test nodes fill the quota so
+/// down-scaled experiments stay runnable.
+pub fn select_targets(graph: &AttributedGraph, min_degree: usize, min_count: usize) -> Vec<usize> {
+    let mut targets: Vec<usize> = graph
+        .split
+        .test
+        .iter()
+        .copied()
+        .filter(|&u| graph.degree(u) > min_degree)
+        .collect();
+    if targets.len() < min_count {
+        let mut by_degree: Vec<usize> = graph.split.test.clone();
+        by_degree.sort_by_key(|&u| std::cmp::Reverse(graph.degree(u)));
+        for u in by_degree {
+            if targets.len() >= min_count {
+                break;
+            }
+            if !targets.contains(&u) {
+                targets.push(u);
+            }
+        }
+    }
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aneci_graph::{karate_club, Split};
+
+    #[test]
+    fn picks_high_degree_test_nodes() {
+        let mut g = karate_club();
+        g.set_split(Split {
+            train: vec![4],
+            val: vec![5],
+            test: vec![0, 33, 12, 11],
+        });
+        let t = select_targets(&g, 10, 0);
+        // Only nodes 0 (deg 16) and 33 (deg 17) exceed degree 10.
+        assert_eq!(t, vec![0, 33]);
+    }
+
+    #[test]
+    fn fallback_fills_quota_by_degree() {
+        let mut g = karate_club();
+        g.set_split(Split {
+            train: vec![],
+            val: vec![],
+            test: vec![11, 12, 9, 2],
+        });
+        // None exceed degree 10 → fallback: highest degrees first.
+        let t = select_targets(&g, 10, 2);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&2)); // degree 10 is the max among these
+    }
+
+    #[test]
+    fn respects_test_set_boundary() {
+        let mut g = karate_club();
+        g.set_split(Split {
+            train: vec![0],
+            val: vec![33],
+            test: vec![1, 2],
+        });
+        let t = select_targets(&g, 0, 10);
+        // Hubs 0 and 33 are not in the test set and must not appear.
+        assert!(!t.contains(&0));
+        assert!(!t.contains(&33));
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,966 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a DAG of matrix operations as they are executed
+//! (define-by-run). Each node stores its forward value; [`Tape::backward`]
+//! runs a single reverse sweep accumulating gradients. Nodes are addressed by
+//! the lightweight [`Var`] index — no `Rc`/`RefCell` appears in the public
+//! API.
+//!
+//! Besides the generic primitives (products, activations, reductions), the
+//! tape offers three *fused* operations that the paper's objectives need to
+//! stay `O(nnz)` instead of `O(N²)`:
+//!
+//! * [`Tape::spmm`] — sparse-constant × dense-variable product for GCN
+//!   propagation and the `ÃP` term of the modularity;
+//! * [`Tape::dense_recon_bce`] — the generalized cross-entropy of
+//!   `sigmoid(P Pᵀ)` against a dense target (Eq. 17), with the `N×N` score
+//!   matrix never leaving the op;
+//! * [`Tape::pair_bce`] — the negative-sampled estimator of the same loss for
+//!   large graphs.
+
+use aneci_linalg::{par, CsrMatrix, DenseMatrix};
+use std::sync::Arc;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+impl Var {
+    /// Raw index of this node on its tape.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One training-example pair for [`Tape::pair_bce`]: `(i, j, target)`.
+pub type BcePair = (u32, u32, f64);
+
+enum Op {
+    Leaf,
+    MatMul(Var, Var),
+    MatMulTn(Var, Var),
+    SpMm(Arc<CsrMatrix>, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Hadamard(Var, Var),
+    AddRowBroadcast(Var, Var),
+    Scale(Var, f64),
+    Neg(Var),
+    LeakyRelu(Var, f64),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Exp(Var),
+    Dropout(Var, Arc<DenseMatrix>),
+    SoftmaxRows(Var),
+    Transpose(Var),
+    Sum(Var),
+    MeanAll(Var),
+    FrobSq(Var),
+    Dot(Var, Var),
+    RowSelect(Var, Arc<[usize]>),
+    SoftmaxCrossEntropy {
+        logits: Var,
+        labels: Arc<[usize]>,
+        rows: Arc<[usize]>,
+    },
+    DenseReconBce {
+        p: Var,
+        target: Arc<DenseMatrix>,
+        pos_weight: f64,
+    },
+    PairBce {
+        p: Var,
+        pairs: Arc<[BcePair]>,
+    },
+}
+
+struct Node {
+    value: DenseMatrix,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// Clamp used inside every log-sigmoid to avoid `ln(0)`.
+const SIG_EPS: f64 = 1e-12;
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// The recording tape. Create one per forward pass (graphs are dynamic).
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<DenseMatrix>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: DenseMatrix, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
+        self.grads.push(None);
+        Var(self.nodes.len() - 1)
+    }
+
+    fn requires(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &DenseMatrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a node after [`Tape::backward`]; zeros if
+    /// the node was never reached.
+    pub fn grad(&self, v: Var) -> DenseMatrix {
+        match &self.grads[v.0] {
+            Some(g) => g.clone(),
+            None => DenseMatrix::zeros(self.nodes[v.0].value.rows(), self.nodes[v.0].value.cols()),
+        }
+    }
+
+    /// Scalar value of a `1×1` node (panics otherwise).
+    pub fn scalar(&self, v: Var) -> f64 {
+        let m = self.value(v);
+        assert_eq!(
+            m.shape(),
+            (1, 1),
+            "scalar: node is {}x{}",
+            m.rows(),
+            m.cols()
+        );
+        m.get(0, 0)
+    }
+
+    // ----- node constructors -------------------------------------------------
+
+    /// Records a differentiable leaf (a parameter).
+    pub fn leaf(&mut self, value: DenseMatrix) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Records a constant (no gradient flows into it).
+    pub fn constant(&mut self, value: DenseMatrix) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Dense product `a * b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = par::matmul(self.value(a), self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::MatMul(a, b), rg)
+    }
+
+    /// `aᵀ * b` without materializing the transpose.
+    pub fn matmul_tn(&mut self, a: Var, b: Var) -> Var {
+        let value = par::matmul_tn(self.value(a), self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::MatMulTn(a, b), rg)
+    }
+
+    /// Sparse-constant × dense product `s * x` (GCN propagation).
+    pub fn spmm(&mut self, s: &Arc<CsrMatrix>, x: Var) -> Var {
+        let value = par::spmm_dense(s, self.value(x));
+        let rg = self.requires(x);
+        self.push(value, Op::SpMm(Arc::clone(s), x), rg)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Add(a, b), rg)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Sub(a, b), rg)
+    }
+
+    /// Hadamard (elementwise) product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hadamard(self.value(b));
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Hadamard(a, b), rg)
+    }
+
+    /// Adds a `1×c` row vector to every row of an `r×c` matrix (bias add).
+    pub fn add_row_broadcast(&mut self, m: Var, row: Var) -> Var {
+        let mv = self.value(m);
+        let rv = self.value(row);
+        assert_eq!(rv.rows(), 1, "add_row_broadcast: bias must be 1×c");
+        assert_eq!(rv.cols(), mv.cols(), "add_row_broadcast: width mismatch");
+        let mut value = mv.clone();
+        let bias = rv.row(0).to_vec();
+        for r in 0..value.rows() {
+            for (o, &b) in value.row_mut(r).iter_mut().zip(&bias) {
+                *o += b;
+            }
+        }
+        let rg = self.requires(m) || self.requires(row);
+        self.push(value, Op::AddRowBroadcast(m, row), rg)
+    }
+
+    /// Scalar multiple `alpha * a`.
+    pub fn scale(&mut self, a: Var, alpha: f64) -> Var {
+        let value = self.value(a).scale(alpha);
+        let rg = self.requires(a);
+        self.push(value, Op::Scale(a, alpha), rg)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let value = self.value(a).scale(-1.0);
+        let rg = self.requires(a);
+        self.push(value, Op::Neg(a), rg)
+    }
+
+    /// LeakyReLU with negative slope `alpha` (the paper uses `alpha = 0.01`).
+    pub fn leaky_relu(&mut self, a: Var, alpha: f64) -> Var {
+        let value = self.value(a).map(|v| if v > 0.0 { v } else { alpha * v });
+        let rg = self.requires(a);
+        self.push(value, Op::LeakyRelu(a, alpha), rg)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0));
+        let rg = self.requires(a);
+        self.push(value, Op::Relu(a), rg)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(sigmoid);
+        let rg = self.requires(a);
+        self.push(value, Op::Sigmoid(a), rg)
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f64::tanh);
+        let rg = self.requires(a);
+        self.push(value, Op::Tanh(a), rg)
+    }
+
+    /// Elementwise exponential (the VGAE reparameterization needs
+    /// `std = exp(logvar / 2)`).
+    pub fn exp(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f64::exp);
+        let rg = self.requires(a);
+        self.push(value, Op::Exp(a), rg)
+    }
+
+    /// Inverted dropout: zeroes each entry with probability `p` and scales
+    /// the survivors by `1/(1-p)`, using the caller-provided RNG (training
+    /// mode only — skip the call at inference).
+    pub fn dropout(&mut self, a: Var, p: f64, rng: &mut impl rand::Rng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+        if p == 0.0 {
+            return a;
+        }
+        let (r, c) = self.value(a).shape();
+        let keep = 1.0 / (1.0 - p);
+        let mask = Arc::new(DenseMatrix::from_fn(r, c, |_, _| {
+            if rng.gen::<f64>() < p {
+                0.0
+            } else {
+                keep
+            }
+        }));
+        let value = self.value(a).hadamard(&mask);
+        let rg = self.requires(a);
+        self.push(value, Op::Dropout(a, mask), rg)
+    }
+
+    /// Row-wise softmax (Eq. 3 of the paper: `P = softmax(Z)`).
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let value = self.value(a).softmax_rows();
+        let rg = self.requires(a);
+        self.push(value, Op::SoftmaxRows(a), rg)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        let rg = self.requires(a);
+        self.push(value, Op::Transpose(a), rg)
+    }
+
+    /// Sum of all entries, as a `1×1` node.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let value = DenseMatrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        let rg = self.requires(a);
+        self.push(value, Op::Sum(a), rg)
+    }
+
+    /// Mean of all entries, as a `1×1` node.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = DenseMatrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        let rg = self.requires(a);
+        self.push(value, Op::MeanAll(a), rg)
+    }
+
+    /// Sum of squared entries `‖a‖²_F`, as a `1×1` node (L2 regularizer).
+    pub fn frob_sq(&mut self, a: Var) -> Var {
+        let v = self.value(a);
+        let value = DenseMatrix::from_vec(1, 1, vec![v.dot(v)]);
+        let rg = self.requires(a);
+        self.push(value, Op::FrobSq(a), rg)
+    }
+
+    /// Frobenius inner product `<a, b>`, as a `1×1` node.
+    pub fn dot(&mut self, a: Var, b: Var) -> Var {
+        let value = DenseMatrix::from_vec(1, 1, vec![self.value(a).dot(self.value(b))]);
+        let rg = self.requires(a) || self.requires(b);
+        self.push(value, Op::Dot(a, b), rg)
+    }
+
+    /// Gathers a subset of rows.
+    pub fn row_select(&mut self, a: Var, rows: &[usize]) -> Var {
+        let value = self.value(a).select_rows(rows);
+        let rg = self.requires(a);
+        self.push(value, Op::RowSelect(a, rows.into()), rg)
+    }
+
+    /// Mean softmax cross-entropy of `logits` against integer `labels`,
+    /// evaluated only on the `rows` subset (the labelled training nodes).
+    /// Returns a `1×1` node.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize], rows: &[usize]) -> Var {
+        assert!(!rows.is_empty(), "softmax_cross_entropy: empty row set");
+        let lv = self.value(logits);
+        assert_eq!(
+            labels.len(),
+            lv.rows(),
+            "labels must cover every row of logits"
+        );
+        let mut loss = 0.0;
+        for &r in rows {
+            let row = lv.row(r);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lse = max + row.iter().map(|v| (v - max).exp()).sum::<f64>().ln();
+            loss += lse - row[labels[r]];
+        }
+        loss /= rows.len() as f64;
+        let value = DenseMatrix::from_vec(1, 1, vec![loss]);
+        let rg = self.requires(logits);
+        self.push(
+            value,
+            Op::SoftmaxCrossEntropy {
+                logits,
+                labels: labels.into(),
+                rows: rows.into(),
+            },
+            rg,
+        )
+    }
+
+    /// Generalized cross-entropy of `sigmoid(p pᵀ)` against a dense target in
+    /// `[0,1]` (Eq. 17). `pos_weight` rescales the positive term, matching
+    /// the class-imbalance weighting used by GAE. Returns a `1×1` node.
+    ///
+    /// The `N×N` score matrix is produced and consumed inside the op; the
+    /// tape only stores `p` and the target.
+    pub fn dense_recon_bce(&mut self, p: Var, target: &Arc<DenseMatrix>, pos_weight: f64) -> Var {
+        let pv = self.value(p);
+        assert_eq!(pv.rows(), target.rows(), "dense_recon_bce: row mismatch");
+        assert_eq!(
+            target.rows(),
+            target.cols(),
+            "dense_recon_bce: target must be square"
+        );
+        let n = pv.rows();
+        let mut loss = 0.0;
+        for i in 0..n {
+            let pi = pv.row(i);
+            for j in 0..n {
+                let pj = pv.row(j);
+                let s: f64 = pi.iter().zip(pj).map(|(&a, &b)| a * b).sum();
+                let sig = sigmoid(s).clamp(SIG_EPS, 1.0 - SIG_EPS);
+                let t = target.get(i, j);
+                loss -= pos_weight * t * sig.ln() + (1.0 - t) * (1.0 - sig).ln();
+            }
+        }
+        let value = DenseMatrix::from_vec(1, 1, vec![loss]);
+        let rg = self.requires(p);
+        self.push(
+            value,
+            Op::DenseReconBce {
+                p,
+                target: Arc::clone(target),
+                pos_weight,
+            },
+            rg,
+        )
+    }
+
+    /// Negative-sampled estimator of [`Tape::dense_recon_bce`]: the loss is
+    /// summed over the explicit `(i, j, target)` pairs only. Returns a `1×1`
+    /// node.
+    pub fn pair_bce(&mut self, p: Var, pairs: &Arc<[BcePair]>) -> Var {
+        let pv = self.value(p);
+        let mut loss = 0.0;
+        for &(i, j, t) in pairs.iter() {
+            let s: f64 = pv
+                .row(i as usize)
+                .iter()
+                .zip(pv.row(j as usize))
+                .map(|(&a, &b)| a * b)
+                .sum();
+            let sig = sigmoid(s).clamp(SIG_EPS, 1.0 - SIG_EPS);
+            loss -= t * sig.ln() + (1.0 - t) * (1.0 - sig).ln();
+        }
+        let value = DenseMatrix::from_vec(1, 1, vec![loss]);
+        let rg = self.requires(p);
+        self.push(
+            value,
+            Op::PairBce {
+                p,
+                pairs: Arc::clone(pairs),
+            },
+            rg,
+        )
+    }
+
+    // ----- backward ----------------------------------------------------------
+
+    fn accumulate(&mut self, v: Var, g: DenseMatrix) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.grads[v.0] {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Runs the reverse sweep from a scalar `1×1` loss node, filling
+    /// gradients for every reachable differentiable node.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss must be a 1×1 scalar node"
+        );
+        for g in &mut self.grads {
+            *g = None;
+        }
+        self.grads[loss.0] = Some(DenseMatrix::filled(1, 1, 1.0));
+        for idx in (0..=loss.0).rev() {
+            if !self.nodes[idx].requires_grad {
+                continue;
+            }
+            let Some(g) = self.grads[idx].take() else {
+                continue;
+            };
+            self.backprop_node(idx, &g);
+            self.grads[idx] = Some(g);
+        }
+    }
+
+    fn backprop_node(&mut self, idx: usize, g: &DenseMatrix) {
+        // `Op` owns only Vars, Arcs and scalars, so cloning what we need out
+        // of the node keeps the borrow checker happy at negligible cost.
+        match &self.nodes[idx].op {
+            Op::Leaf => {}
+            &Op::MatMul(a, b) => {
+                if self.requires(a) {
+                    // dA = g * Bᵀ
+                    let da = par::matmul(g, &self.nodes[b.0].value.transpose());
+                    self.accumulate(a, da);
+                }
+                if self.requires(b) {
+                    // dB = Aᵀ * g
+                    let db = par::matmul_tn(&self.nodes[a.0].value.clone(), g);
+                    self.accumulate(b, db);
+                }
+            }
+            &Op::MatMulTn(a, b) => {
+                // y = aᵀ b; dA = b gᵀ, dB = a g
+                if self.requires(a) {
+                    let da = par::matmul(&self.nodes[b.0].value, &g.transpose());
+                    self.accumulate(a, da);
+                }
+                if self.requires(b) {
+                    let db = par::matmul(&self.nodes[a.0].value, g);
+                    self.accumulate(b, db);
+                }
+            }
+            Op::SpMm(s, x) => {
+                let (s, x) = (Arc::clone(s), *x);
+                if self.requires(x) {
+                    // dX = Sᵀ * g. All our propagation operators are
+                    // symmetric, but transpose anyway for correctness.
+                    let st = s.transpose();
+                    let dx = par::spmm_dense(&st, g);
+                    self.accumulate(x, dx);
+                }
+            }
+            &Op::Add(a, b) => {
+                if self.requires(a) {
+                    self.accumulate(a, g.clone());
+                }
+                if self.requires(b) {
+                    self.accumulate(b, g.clone());
+                }
+            }
+            &Op::Sub(a, b) => {
+                if self.requires(a) {
+                    self.accumulate(a, g.clone());
+                }
+                if self.requires(b) {
+                    self.accumulate(b, g.scale(-1.0));
+                }
+            }
+            &Op::Hadamard(a, b) => {
+                if self.requires(a) {
+                    let da = g.hadamard(&self.nodes[b.0].value);
+                    self.accumulate(a, da);
+                }
+                if self.requires(b) {
+                    let db = g.hadamard(&self.nodes[a.0].value);
+                    self.accumulate(b, db);
+                }
+            }
+            &Op::AddRowBroadcast(m, row) => {
+                if self.requires(m) {
+                    self.accumulate(m, g.clone());
+                }
+                if self.requires(row) {
+                    let sums = g.col_sums();
+                    self.accumulate(row, DenseMatrix::from_vec(1, sums.len(), sums));
+                }
+            }
+            &Op::Scale(a, alpha) => {
+                if self.requires(a) {
+                    self.accumulate(a, g.scale(alpha));
+                }
+            }
+            &Op::Neg(a) => {
+                if self.requires(a) {
+                    self.accumulate(a, g.scale(-1.0));
+                }
+            }
+            &Op::LeakyRelu(a, alpha) => {
+                if self.requires(a) {
+                    let da = self.nodes[a.0]
+                        .value
+                        .zip(g, |x, gv| if x > 0.0 { gv } else { alpha * gv });
+                    self.accumulate(a, da);
+                }
+            }
+            &Op::Relu(a) => {
+                if self.requires(a) {
+                    let da = self.nodes[a.0]
+                        .value
+                        .zip(g, |x, gv| if x > 0.0 { gv } else { 0.0 });
+                    self.accumulate(a, da);
+                }
+            }
+            &Op::Sigmoid(a) => {
+                if self.requires(a) {
+                    let y = &self.nodes[idx].value;
+                    let da = y.zip(g, |s, gv| gv * s * (1.0 - s));
+                    self.accumulate(a, da);
+                }
+            }
+            &Op::Tanh(a) => {
+                if self.requires(a) {
+                    let y = &self.nodes[idx].value;
+                    let da = y.zip(g, |t, gv| gv * (1.0 - t * t));
+                    self.accumulate(a, da);
+                }
+            }
+            &Op::Exp(a) => {
+                if self.requires(a) {
+                    let y = &self.nodes[idx].value;
+                    let da = y.zip(g, |e, gv| gv * e);
+                    self.accumulate(a, da);
+                }
+            }
+            Op::Dropout(a, mask) => {
+                let (a, mask) = (*a, Arc::clone(mask));
+                if self.requires(a) {
+                    self.accumulate(a, g.hadamard(&mask));
+                }
+            }
+            &Op::SoftmaxRows(a) => {
+                if self.requires(a) {
+                    let y = &self.nodes[idx].value;
+                    let mut da = DenseMatrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let yr = y.row(r);
+                        let gr = g.row(r);
+                        let inner: f64 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+                        let dr = da.row_mut(r);
+                        for ((o, &yv), &gv) in dr.iter_mut().zip(yr).zip(gr) {
+                            *o = yv * (gv - inner);
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+            }
+            &Op::Transpose(a) => {
+                if self.requires(a) {
+                    self.accumulate(a, g.transpose());
+                }
+            }
+            &Op::Sum(a) => {
+                if self.requires(a) {
+                    let s = g.get(0, 0);
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    self.accumulate(a, DenseMatrix::filled(r, c, s));
+                }
+            }
+            &Op::MeanAll(a) => {
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let s = g.get(0, 0) / (r * c) as f64;
+                    self.accumulate(a, DenseMatrix::filled(r, c, s));
+                }
+            }
+            &Op::FrobSq(a) => {
+                if self.requires(a) {
+                    let s = 2.0 * g.get(0, 0);
+                    self.accumulate(a, self.nodes[a.0].value.scale(s));
+                }
+            }
+            &Op::Dot(a, b) => {
+                let s = g.get(0, 0);
+                if self.requires(a) {
+                    self.accumulate(a, self.nodes[b.0].value.scale(s));
+                }
+                if self.requires(b) {
+                    self.accumulate(b, self.nodes[a.0].value.scale(s));
+                }
+            }
+            Op::RowSelect(a, rows) => {
+                let (a, rows) = (*a, Arc::clone(rows));
+                if self.requires(a) {
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut da = DenseMatrix::zeros(r, c);
+                    for (i, &row) in rows.iter().enumerate() {
+                        let src = g.row(i).to_vec();
+                        for (o, v) in da.row_mut(row).iter_mut().zip(src) {
+                            *o += v;
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+            }
+            Op::SoftmaxCrossEntropy {
+                logits,
+                labels,
+                rows,
+            } => {
+                let (logits, labels, rows) = (*logits, Arc::clone(labels), Arc::clone(rows));
+                if self.requires(logits) {
+                    let lv = &self.nodes[logits.0].value;
+                    let mut dl = DenseMatrix::zeros(lv.rows(), lv.cols());
+                    let scale = g.get(0, 0) / rows.len() as f64;
+                    for &r in rows.iter() {
+                        let row = lv.row(r);
+                        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        let exps: Vec<f64> = row.iter().map(|v| (v - max).exp()).collect();
+                        let z: f64 = exps.iter().sum();
+                        let dr = dl.row_mut(r);
+                        for (c, (o, e)) in dr.iter_mut().zip(exps).enumerate() {
+                            let p = e / z;
+                            *o = scale * (p - if c == labels[r] { 1.0 } else { 0.0 });
+                        }
+                    }
+                    self.accumulate(logits, dl);
+                }
+            }
+            Op::DenseReconBce {
+                p,
+                target,
+                pos_weight,
+            } => {
+                let (p, target, w) = (*p, Arc::clone(target), *pos_weight);
+                if self.requires(p) {
+                    let pv = &self.nodes[p.0].value;
+                    let n = pv.rows();
+                    // dL/dS_ij = sigmoid(S_ij)*(w*T_ij + 1 - T_ij) - w*T_ij
+                    // dL/dP = (G + Gᵀ) P, computed without storing G by two
+                    // accumulation passes over rows.
+                    let mut grad_s = DenseMatrix::zeros(n, n);
+                    for i in 0..n {
+                        let pi = pv.row(i);
+                        for j in 0..n {
+                            let pj = pv.row(j);
+                            let s: f64 = pi.iter().zip(pj).map(|(&a, &b)| a * b).sum();
+                            let sig = sigmoid(s);
+                            let t = target.get(i, j);
+                            grad_s.set(i, j, sig * (w * t + 1.0 - t) - w * t);
+                        }
+                    }
+                    let gsym = grad_s.add(&grad_s.transpose());
+                    let mut dp = par::matmul(&gsym, pv);
+                    dp.scale_inplace(g.get(0, 0));
+                    self.accumulate(p, dp);
+                }
+            }
+            Op::PairBce { p, pairs } => {
+                let (p, pairs) = (*p, Arc::clone(pairs));
+                if self.requires(p) {
+                    let pv = &self.nodes[p.0].value;
+                    let mut dp = DenseMatrix::zeros(pv.rows(), pv.cols());
+                    let scale = g.get(0, 0);
+                    for &(i, j, t) in pairs.iter() {
+                        let (i, j) = (i as usize, j as usize);
+                        let s: f64 = pv.row(i).iter().zip(pv.row(j)).map(|(&a, &b)| a * b).sum();
+                        let coeff = scale * (sigmoid(s) - t);
+                        let pi = pv.row(i).to_vec();
+                        let pj = pv.row(j).to_vec();
+                        for (o, v) in dp.row_mut(i).iter_mut().zip(&pj) {
+                            *o += coeff * v;
+                        }
+                        for (o, v) in dp.row_mut(j).iter_mut().zip(&pi) {
+                            *o += coeff * v;
+                        }
+                    }
+                    self.accumulate(p, dp);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
+
+    #[test]
+    fn scalar_chain_gradient() {
+        // f(x) = sum(3 * x)  =>  df/dx = 3 everywhere.
+        let mut t = Tape::new();
+        let x = t.leaf(DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let y = t.scale(x, 3.0);
+        let loss = t.sum(y);
+        t.backward(loss);
+        assert_eq!(t.grad(x), DenseMatrix::filled(2, 2, 3.0));
+        assert_eq!(t.scalar(loss), 30.0);
+    }
+
+    #[test]
+    fn matmul_gradients_match_formula() {
+        // L = sum(A*B): dA = 1 Bᵀ, dB = Aᵀ 1.
+        let mut t = Tape::new();
+        let a = t.leaf(DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = t.leaf(DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let c = t.matmul(a, b);
+        let loss = t.sum(c);
+        t.backward(loss);
+        let ones = DenseMatrix::filled(2, 2, 1.0);
+        let da = ones.matmul(&t.value(b).transpose());
+        let db = t.value(a).transpose().matmul(&ones);
+        assert!(t.grad(a).sub(&da).max_abs() < 1e-12);
+        assert!(t.grad(b).sub(&db).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_accumulates_across_uses() {
+        // L = sum(x) + sum(x) => grad = 2.
+        let mut t = Tape::new();
+        let x = t.leaf(DenseMatrix::filled(2, 3, 1.0));
+        let s1 = t.sum(x);
+        let s2 = t.sum(x);
+        let loss = t.add(s1, s2);
+        t.backward(loss);
+        assert_eq!(t.grad(x), DenseMatrix::filled(2, 3, 2.0));
+    }
+
+    #[test]
+    fn constants_receive_no_gradient() {
+        let mut t = Tape::new();
+        let x = t.leaf(DenseMatrix::filled(2, 2, 1.0));
+        let c = t.constant(DenseMatrix::filled(2, 2, 5.0));
+        let y = t.hadamard(x, c);
+        let loss = t.sum(y);
+        t.backward(loss);
+        assert_eq!(t.grad(x), DenseMatrix::filled(2, 2, 5.0));
+        assert_eq!(t.grad(c), DenseMatrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn spmm_gradient_matches_dense() {
+        let s = Arc::new(CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 1, 2.0),
+                (1, 0, 2.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (0, 0, 0.5),
+            ],
+        ));
+        let mut rng = seeded_rng(21);
+        let x0 = gaussian_matrix(3, 4, 1.0, &mut rng);
+
+        let mut t = Tape::new();
+        let x = t.leaf(x0.clone());
+        let y = t.spmm(&s, x);
+        let sq = t.frob_sq(y);
+        t.backward(sq);
+        let got = t.grad(x);
+
+        // d/dX ||S X||² = 2 Sᵀ S X
+        let sd = s.to_dense();
+        let want = sd.transpose().matmul(&sd.matmul(&x0)).scale(2.0);
+        assert!(got.sub(&want).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn backward_requires_scalar_loss() {
+        let mut t = Tape::new();
+        let x = t.leaf(DenseMatrix::filled(2, 2, 1.0));
+        let y = t.scale(x, 2.0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut t2 = Tape::new();
+            let x2 = t2.leaf(DenseMatrix::filled(2, 2, 1.0));
+            t2.backward(x2);
+        }));
+        assert!(result.is_err());
+        let loss = t.sum(y);
+        t.backward(loss); // fine
+    }
+
+    #[test]
+    fn softmax_rows_gradient_zero_for_uniform_target() {
+        // L = sum(softmax(x)) = rows, a constant: gradient must be ~0.
+        let mut t = Tape::new();
+        let x = t.leaf(DenseMatrix::from_rows(&[
+            &[0.3, -1.0, 2.0],
+            &[0.0, 0.0, 1.0],
+        ]));
+        let p = t.softmax_rows(x);
+        let loss = t.sum(p);
+        t.backward(loss);
+        assert!(t.grad(x).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_select_routes_gradients() {
+        let mut t = Tape::new();
+        let x = t.leaf(DenseMatrix::from_fn(4, 2, |r, c| (r * 2 + c) as f64));
+        let sel = t.row_select(x, &[1, 3, 1]);
+        let loss = t.sum(sel);
+        t.backward(loss);
+        // Row 1 selected twice, row 3 once, rows 0 and 2 never.
+        let g = t.grad(x);
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert_eq!(g.row(1), &[2.0, 2.0]);
+        assert_eq!(g.row(2), &[0.0, 0.0]);
+        assert_eq!(g.row(3), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn cross_entropy_decreases_along_gradient() {
+        let mut rng = seeded_rng(22);
+        let logits0 = gaussian_matrix(6, 3, 1.0, &mut rng);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let rows = vec![0, 2, 4, 5];
+
+        let eval = |m: &DenseMatrix| {
+            let mut t = Tape::new();
+            let l = t.leaf(m.clone());
+            let loss = t.softmax_cross_entropy(l, &labels, &rows);
+            (t.scalar(loss), {
+                t.backward(loss);
+                t.grad(l)
+            })
+        };
+        let (l0, g) = eval(&logits0);
+        let mut stepped = logits0.clone();
+        stepped.axpy(-0.1, &g);
+        let (l1, _) = eval(&stepped);
+        assert!(l1 < l0, "step along -grad should reduce CE: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn dropout_masks_and_routes_gradient() {
+        let mut rng = seeded_rng(55);
+        let mut t = Tape::new();
+        let x = t.leaf(DenseMatrix::filled(20, 10, 1.0));
+        let d = t.dropout(x, 0.4, &mut rng);
+        // Survivors are scaled by 1/(1-p); zeros elsewhere.
+        let keep = 1.0 / 0.6;
+        let vals = t.value(d).clone();
+        for &v in vals.as_slice() {
+            assert!(v == 0.0 || (v - keep).abs() < 1e-12);
+        }
+        // Expected survivor fraction ≈ 60%.
+        let survivors = vals.as_slice().iter().filter(|&&v| v != 0.0).count();
+        assert!((0.4..0.8).contains(&(survivors as f64 / 200.0)));
+        // Gradient flows only through survivors, scaled identically.
+        let loss = t.sum(d);
+        t.backward(loss);
+        let g = t.grad(x);
+        for (gv, v) in g.as_slice().iter().zip(vals.as_slice()) {
+            assert_eq!(*gv, *v);
+        }
+        // p = 0 is the identity (same Var returned).
+        let mut t2 = Tape::new();
+        let y = t2.leaf(DenseMatrix::filled(2, 2, 3.0));
+        let same = t2.dropout(y, 0.0, &mut rng);
+        assert_eq!(y, same);
+    }
+
+    #[test]
+    fn pair_bce_matches_dense_recon_on_full_pairs() {
+        let mut rng = seeded_rng(23);
+        let p0 = gaussian_matrix(5, 3, 0.5, &mut rng);
+        let target = Arc::new(DenseMatrix::from_fn(5, 5, |r, c| ((r + c) % 2) as f64));
+        let mut pairs: Vec<BcePair> = Vec::new();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                pairs.push((i, j, target.get(i as usize, j as usize)));
+            }
+        }
+        let pairs: Arc<[BcePair]> = pairs.into();
+
+        let mut t1 = Tape::new();
+        let p1 = t1.leaf(p0.clone());
+        let dense_loss = t1.dense_recon_bce(p1, &target, 1.0);
+        t1.backward(dense_loss);
+
+        let mut t2 = Tape::new();
+        let p2 = t2.leaf(p0.clone());
+        let pair_loss = t2.pair_bce(p2, &pairs);
+        t2.backward(pair_loss);
+
+        assert!((t1.scalar(dense_loss) - t2.scalar(pair_loss)).abs() < 1e-9);
+        assert!(t1.grad(p1).sub(&t2.grad(p2)).max_abs() < 1e-9);
+    }
+}

@@ -1,0 +1,171 @@
+//! A uniform interface over every unsupervised embedding method, so the
+//! experiment binaries can sweep methods with one loop.
+
+use crate::deepwalk::{deepwalk, DeepWalkConfig};
+use crate::dgi::{Dgi, DgiConfig};
+use crate::gae::{Gae, GaeConfig};
+use crate::line::{line, LineConfig};
+use crate::spectral::{spectral_embedding, SpectralConfig};
+use aneci_graph::AttributedGraph;
+use aneci_linalg::DenseMatrix;
+
+/// An unsupervised node-embedding method.
+pub trait Embedder {
+    /// Method name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+    /// Produces the `N × dim` embedding.
+    fn embed(&self, graph: &AttributedGraph) -> DenseMatrix;
+}
+
+/// DeepWalk wrapper.
+pub struct DeepWalkEmbedder(pub DeepWalkConfig);
+impl Embedder for DeepWalkEmbedder {
+    fn name(&self) -> &'static str {
+        "DeepWalk"
+    }
+    fn embed(&self, graph: &AttributedGraph) -> DenseMatrix {
+        deepwalk(graph, &self.0)
+    }
+}
+
+/// LINE wrapper.
+pub struct LineEmbedder(pub LineConfig);
+impl Embedder for LineEmbedder {
+    fn name(&self) -> &'static str {
+        "LINE"
+    }
+    fn embed(&self, graph: &AttributedGraph) -> DenseMatrix {
+        line(graph, &self.0)
+    }
+}
+
+/// GAE wrapper.
+pub struct GaeEmbedder(pub GaeConfig);
+impl Embedder for GaeEmbedder {
+    fn name(&self) -> &'static str {
+        if self.0.variational {
+            "VGAE"
+        } else {
+            "GAE"
+        }
+    }
+    fn embed(&self, graph: &AttributedGraph) -> DenseMatrix {
+        Gae::fit(graph, &self.0).embedding().clone()
+    }
+}
+
+/// DGI wrapper.
+pub struct DgiEmbedder(pub DgiConfig);
+impl Embedder for DgiEmbedder {
+    fn name(&self) -> &'static str {
+        "DGI"
+    }
+    fn embed(&self, graph: &AttributedGraph) -> DenseMatrix {
+        Dgi::fit(graph, &self.0).embedding().clone()
+    }
+}
+
+/// Spectral-embedding wrapper.
+pub struct SpectralEmbedder(pub SpectralConfig);
+impl Embedder for SpectralEmbedder {
+    fn name(&self) -> &'static str {
+        "Spectral"
+    }
+    fn embed(&self, graph: &AttributedGraph) -> DenseMatrix {
+        spectral_embedding(graph, &self.0)
+    }
+}
+
+/// The default unsupervised baseline suite at a given embedding size and
+/// seed — the methods the paper compares against in every experiment.
+pub fn default_suite(dim: usize, seed: u64) -> Vec<Box<dyn Embedder>> {
+    vec![
+        Box::new(DeepWalkEmbedder(DeepWalkConfig {
+            dim,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(LineEmbedder(LineConfig {
+            dim,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(GaeEmbedder(GaeConfig {
+            embed_dim: dim,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(GaeEmbedder(GaeConfig {
+            embed_dim: dim,
+            variational: true,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(DgiEmbedder(DgiConfig {
+            dim,
+            seed,
+            ..Default::default()
+        })),
+        Box::new(SpectralEmbedder(SpectralConfig {
+            dim,
+            seed,
+            ..Default::default()
+        })),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aneci_graph::karate_club;
+
+    #[test]
+    fn suite_names_are_unique_and_stable() {
+        let suite = default_suite(8, 0);
+        let names: Vec<&str> = suite.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec!["DeepWalk", "LINE", "GAE", "VGAE", "DGI", "Spectral"]
+        );
+    }
+
+    #[test]
+    fn every_method_produces_a_finite_embedding() {
+        let g = karate_club();
+        // Small settings to keep the test fast.
+        let suite: Vec<Box<dyn Embedder>> = vec![
+            Box::new(DeepWalkEmbedder(DeepWalkConfig {
+                dim: 4,
+                num_walks: 2,
+                walk_length: 10,
+                epochs: 1,
+                ..Default::default()
+            })),
+            Box::new(LineEmbedder(LineConfig {
+                dim: 4,
+                samples_per_edge: 20,
+                ..Default::default()
+            })),
+            Box::new(GaeEmbedder(GaeConfig {
+                embed_dim: 4,
+                epochs: 10,
+                ..Default::default()
+            })),
+            Box::new(DgiEmbedder(DgiConfig {
+                dim: 4,
+                epochs: 10,
+                ..Default::default()
+            })),
+            Box::new(SpectralEmbedder(SpectralConfig {
+                dim: 4,
+                iterations: 30,
+                seed: 0,
+            })),
+        ];
+        for method in &suite {
+            let z = method.embed(&g);
+            assert_eq!(z.rows(), 34, "{}", method.name());
+            assert!(z.all_finite(), "{}", method.name());
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Semi-supervised GCN node classifier (Kipf & Welling 2017).
+//!
+//! One of the semi-supervised comparison rows of Table III, and the
+//! surrogate model that the NETTACK-style attack scores against.
+//! Architecture and training follow the reference implementation: two
+//! spectral convolution layers with ReLU, softmax cross-entropy on the
+//! labelled training nodes, Adam with weight decay, early stopping on the
+//! validation loss.
+
+use aneci_autograd::{Adam, ParamSet, Tape, Var};
+use aneci_graph::AttributedGraph;
+use aneci_linalg::rng::{derive_seed, seeded_rng, xavier_uniform};
+use aneci_linalg::{CsrMatrix, DenseMatrix};
+use std::sync::Arc;
+
+/// GCN hyperparameters.
+#[derive(Clone, Debug)]
+pub struct GcnConfig {
+    /// Hidden layer width.
+    pub hidden_dim: usize,
+    /// Learning rate (Adam).
+    pub lr: f64,
+    /// Decoupled weight decay.
+    pub weight_decay: f64,
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Early-stopping patience on the validation loss (0 disables).
+    pub patience: usize,
+    /// Dropout rate applied to the input features and hidden activations
+    /// during training (the reference GCN uses 0.5; 0 disables — the
+    /// default here, so small-graph experiments stay deterministic-simple).
+    pub dropout: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GcnConfig {
+    fn default() -> Self {
+        Self {
+            hidden_dim: 16,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            epochs: 200,
+            patience: 20,
+            dropout: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained GCN classifier.
+pub struct GcnClassifier {
+    params: ParamSet,
+    norm_adj: Arc<CsrMatrix>,
+    features: DenseMatrix,
+    num_classes: usize,
+    /// Training-loss history.
+    pub train_losses: Vec<f64>,
+    /// Validation-loss history (empty when there is no validation set).
+    pub val_losses: Vec<f64>,
+}
+
+impl GcnClassifier {
+    /// Trains on the graph's labelled `split.train` nodes.
+    pub fn fit(graph: &AttributedGraph, config: &GcnConfig) -> Self {
+        let labels = graph.labels.as_ref().expect("GCN needs labels").clone();
+        let num_classes = graph.num_classes();
+        assert!(num_classes >= 2, "GCN needs at least two classes");
+        assert!(
+            !graph.split.train.is_empty(),
+            "GCN needs a non-empty training split"
+        );
+        let norm_adj = Arc::new(graph.norm_adjacency());
+        let features = graph.features().clone();
+
+        let mut rng = seeded_rng(derive_seed(config.seed, 0x6C4));
+        let mut params = ParamSet::new();
+        params.register(
+            "w1",
+            xavier_uniform(features.cols(), config.hidden_dim, &mut rng),
+        );
+        params.register(
+            "w2",
+            xavier_uniform(config.hidden_dim, num_classes, &mut rng),
+        );
+
+        let mut opt = Adam::new(config.lr).with_weight_decay(config.weight_decay);
+        let mut train_losses = Vec::new();
+        let mut val_losses = Vec::new();
+        let mut best_val = f64::INFINITY;
+        let mut best_params = params.clone();
+        let mut stall = 0usize;
+
+        for _ in 0..config.epochs {
+            let mut tape = Tape::new();
+            let w = params.leaf_all(&mut tape);
+            let logits = forward_train(
+                &mut tape,
+                &w,
+                &norm_adj,
+                &features,
+                config.dropout,
+                &mut rng,
+            );
+            let loss = tape.softmax_cross_entropy(logits, &labels, &graph.split.train);
+            tape.backward(loss);
+            train_losses.push(tape.scalar(loss));
+
+            if !graph.split.val.is_empty() {
+                // Validation loss on the same forward pass (no grad needed).
+                let vloss = {
+                    let mut t2 = Tape::new();
+                    let logits_const = t2.constant(tape.value(logits).clone());
+                    let l = t2.softmax_cross_entropy(logits_const, &labels, &graph.split.val);
+                    t2.scalar(l)
+                };
+                val_losses.push(vloss);
+                if vloss < best_val - 1e-6 {
+                    best_val = vloss;
+                    stall = 0;
+                    best_params = params.clone();
+                } else {
+                    stall += 1;
+                }
+            }
+            let grads = params.grads(&tape, &w);
+            drop(tape);
+            opt.step(&mut params, &grads);
+            if config.patience > 0 && stall >= config.patience {
+                break;
+            }
+        }
+        if !val_losses.is_empty() {
+            params = best_params;
+        }
+
+        Self {
+            params,
+            norm_adj,
+            features,
+            num_classes,
+            train_losses,
+            val_losses,
+        }
+    }
+
+    /// Class logits for every node.
+    pub fn logits(&self) -> DenseMatrix {
+        let mut tape = Tape::new();
+        let w = self.params.leaf_all(&mut tape);
+        let out = forward(&mut tape, &w, &self.norm_adj, &self.features);
+        tape.value(out).clone()
+    }
+
+    /// Hard class predictions for every node.
+    pub fn predict(&self) -> Vec<usize> {
+        self.logits().argmax_rows()
+    }
+
+    /// Accuracy on an index subset.
+    pub fn accuracy_on(&self, graph: &AttributedGraph, nodes: &[usize]) -> f64 {
+        let labels = graph.labels.as_ref().expect("needs labels");
+        let pred = self.predict();
+        if nodes.is_empty() {
+            return 0.0;
+        }
+        let correct = nodes.iter().filter(|&&i| pred[i] == labels[i]).count();
+        correct as f64 / nodes.len() as f64
+    }
+
+    /// The hidden-layer activations — a usable (supervised) embedding.
+    pub fn hidden_embedding(&self) -> DenseMatrix {
+        let mut tape = Tape::new();
+        let w = self.params.leaf_all(&mut tape);
+        let x = tape.constant(self.features.clone());
+        let xw = tape.matmul(x, w[0]);
+        let h1 = tape.spmm(&self.norm_adj, xw);
+        let a1 = tape.relu(h1);
+        tape.value(a1).clone()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The trained weight matrices `(W₁, W₂)` — the gradient-based attacks
+    /// differentiate surrogate losses through these frozen weights.
+    pub fn weights(&self) -> (DenseMatrix, DenseMatrix) {
+        (self.params.get(0).clone(), self.params.get(1).clone())
+    }
+}
+
+/// The 2-layer GCN forward pass: `Ŝ·relu(Ŝ·X·W₁)·W₂`.
+fn forward(tape: &mut Tape, w: &[Var], s: &Arc<CsrMatrix>, x: &DenseMatrix) -> Var {
+    let xv = tape.constant(x.clone());
+    let xw = tape.matmul(xv, w[0]);
+    let h1 = tape.spmm(s, xw);
+    let a1 = tape.relu(h1);
+    let hw = tape.matmul(a1, w[1]);
+    tape.spmm(s, hw)
+}
+
+/// Training-mode forward with inverted dropout on input and hidden layers.
+fn forward_train(
+    tape: &mut Tape,
+    w: &[Var],
+    s: &Arc<CsrMatrix>,
+    x: &DenseMatrix,
+    dropout: f64,
+    rng: &mut rand::rngs::StdRng,
+) -> Var {
+    let xv = tape.constant(x.clone());
+    let xd = tape.dropout(xv, dropout, rng);
+    let xw = tape.matmul(xd, w[0]);
+    let h1 = tape.spmm(s, xw);
+    let a1 = tape.relu(h1);
+    let ad = tape.dropout(a1, dropout, rng);
+    let hw = tape.matmul(ad, w[1]);
+    tape.spmm(s, hw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aneci_graph::{generate_sbm, karate_club, sample_split, SbmConfig, Split};
+
+    fn sbm_with_split(seed: u64) -> AttributedGraph {
+        let mut cfg = SbmConfig::small();
+        cfg.num_nodes = 300;
+        cfg.num_classes = 3;
+        cfg.target_edges = 1200;
+        let mut g = generate_sbm(&cfg, seed);
+        let labels = g.labels.clone().unwrap();
+        g.set_split(sample_split(&labels, 20, 60, 150, seed));
+        g
+    }
+
+    #[test]
+    fn learns_sbm_classification() {
+        let g = sbm_with_split(1);
+        let model = GcnClassifier::fit(
+            &g,
+            &GcnConfig {
+                epochs: 120,
+                ..Default::default()
+            },
+        );
+        let acc = model.accuracy_on(&g, &g.split.test);
+        assert!(acc > 0.8, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let g = sbm_with_split(2);
+        let model = GcnClassifier::fit(
+            &g,
+            &GcnConfig {
+                epochs: 50,
+                patience: 0,
+                ..Default::default()
+            },
+        );
+        assert!(model.train_losses.last().unwrap() < &model.train_losses[0]);
+    }
+
+    #[test]
+    fn karate_with_tiny_split() {
+        let mut g = karate_club();
+        g.set_split(Split {
+            train: vec![0, 33],
+            val: vec![1, 32],
+            test: (2..32).collect(),
+        });
+        let model = GcnClassifier::fit(
+            &g,
+            &GcnConfig {
+                epochs: 100,
+                ..Default::default()
+            },
+        );
+        // Two labelled nodes are enough on karate thanks to propagation.
+        let acc = model.accuracy_on(&g, &g.split.test);
+        assert!(acc > 0.8, "karate accuracy {acc}");
+    }
+
+    #[test]
+    fn early_stopping_can_trigger() {
+        let g = sbm_with_split(3);
+        let model = GcnClassifier::fit(
+            &g,
+            &GcnConfig {
+                epochs: 400,
+                patience: 5,
+                ..Default::default()
+            },
+        );
+        assert!(model.train_losses.len() < 400, "early stopping never fired");
+    }
+
+    #[test]
+    fn hidden_embedding_shape() {
+        let g = sbm_with_split(4);
+        let cfg = GcnConfig {
+            hidden_dim: 24,
+            epochs: 10,
+            ..Default::default()
+        };
+        let model = GcnClassifier::fit(&g, &cfg);
+        assert_eq!(model.hidden_embedding().shape(), (300, 24));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = sbm_with_split(5);
+        let cfg = GcnConfig {
+            epochs: 20,
+            ..Default::default()
+        };
+        let a = GcnClassifier::fit(&g, &cfg).predict();
+        let b = GcnClassifier::fit(&g, &cfg).predict();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn learns_with_dropout_enabled() {
+        let g = sbm_with_split(6);
+        let cfg = GcnConfig {
+            epochs: 150,
+            dropout: 0.5,
+            ..Default::default()
+        };
+        let model = GcnClassifier::fit(&g, &cfg);
+        let acc = model.accuracy_on(&g, &g.split.test);
+        assert!(acc > 0.75, "dropout-GCN accuracy {acc}");
+    }
+}

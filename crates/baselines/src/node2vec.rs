@@ -1,0 +1,190 @@
+//! Node2Vec (Grover & Leskovec 2016).
+//!
+//! Second-order biased random walks: from edge `(t → v)`, the next step `x`
+//! is weighted `1/p` to return to `t`, `1` toward common neighbors of `t`
+//! and `v`, and `1/q` to explore further away. The walk corpus then feeds
+//! the same skip-gram trainer as DeepWalk. Cited among the paper's
+//! foundational baselines ([17]); `p = q = 1` reduces exactly to DeepWalk's
+//! uniform walks.
+
+use crate::deepwalk::{train_skipgram, DeepWalkConfig};
+use aneci_graph::AttributedGraph;
+use aneci_linalg::rng::{derive_seed, sample_weighted, seeded_rng};
+use aneci_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Node2Vec hyperparameters: the skip-gram settings plus the walk biases.
+#[derive(Clone, Debug)]
+pub struct Node2VecConfig {
+    /// Skip-gram / walk-corpus settings shared with DeepWalk.
+    pub base: DeepWalkConfig,
+    /// Return parameter `p` (large ⇒ avoid revisiting the previous node).
+    pub p: f64,
+    /// In-out parameter `q` (small ⇒ outward/DFS-like exploration).
+    pub q: f64,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        Self {
+            base: DeepWalkConfig::default(),
+            p: 1.0,
+            q: 1.0,
+        }
+    }
+}
+
+/// Generates a second-order biased walk corpus.
+pub fn biased_walks(
+    graph: &AttributedGraph,
+    num_walks: usize,
+    walk_length: usize,
+    p: f64,
+    q: f64,
+    rng: &mut StdRng,
+) -> Vec<Vec<u32>> {
+    assert!(p > 0.0 && q > 0.0, "node2vec p and q must be positive");
+    let n = graph.num_nodes();
+    let neighborhoods: Vec<Vec<usize>> = (0..n).map(|u| graph.neighbors(u)).collect();
+    let mut walks = Vec::with_capacity(n * num_walks);
+    let mut weights_buf: Vec<f64> = Vec::new();
+    for _ in 0..num_walks {
+        for start in 0..n {
+            let mut walk = Vec::with_capacity(walk_length);
+            walk.push(start as u32);
+            if neighborhoods[start].is_empty() {
+                walks.push(walk);
+                continue;
+            }
+            // First step: uniform.
+            let mut prev = start;
+            let mut current = neighborhoods[start][rng.gen_range(0..neighborhoods[start].len())];
+            walk.push(current as u32);
+            for _ in 2..walk_length {
+                let nbrs = &neighborhoods[current];
+                if nbrs.is_empty() {
+                    break;
+                }
+                weights_buf.clear();
+                for &x in nbrs {
+                    let w = if x == prev {
+                        1.0 / p
+                    } else if graph.has_edge(x, prev) {
+                        1.0
+                    } else {
+                        1.0 / q
+                    };
+                    weights_buf.push(w);
+                }
+                let next = nbrs[sample_weighted(&weights_buf, rng)];
+                prev = current;
+                current = next;
+                walk.push(current as u32);
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+/// Trains Node2Vec and returns the node embedding matrix.
+pub fn node2vec(graph: &AttributedGraph, config: &Node2VecConfig) -> DenseMatrix {
+    let mut rng = seeded_rng(derive_seed(config.base.seed, 0x2472));
+    let walks = biased_walks(
+        graph,
+        config.base.num_walks,
+        config.base.walk_length,
+        config.p,
+        config.q,
+        &mut rng,
+    );
+    train_skipgram(graph, &walks, &config.base, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aneci_graph::karate_club;
+    use aneci_linalg::rng::seeded_rng;
+
+    #[test]
+    fn biased_walks_respect_topology() {
+        let g = karate_club();
+        let mut rng = seeded_rng(1);
+        let walks = biased_walks(&g, 2, 12, 0.5, 2.0, &mut rng);
+        for walk in &walks {
+            for pair in walk.windows(2) {
+                assert!(g.has_edge(pair[0] as usize, pair[1] as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn high_p_reduces_immediate_backtracking() {
+        let g = karate_club();
+        let backtrack_rate = |p: f64, seed: u64| {
+            let mut rng = seeded_rng(seed);
+            let walks = biased_walks(&g, 5, 30, p, 1.0, &mut rng);
+            let mut back = 0usize;
+            let mut total = 0usize;
+            for w in &walks {
+                for t in w.windows(3) {
+                    total += 1;
+                    if t[0] == t[2] {
+                        back += 1;
+                    }
+                }
+            }
+            back as f64 / total.max(1) as f64
+        };
+        let low_p = backtrack_rate(0.25, 2); // encourage returns
+        let high_p = backtrack_rate(8.0, 2); // discourage returns
+        assert!(
+            high_p < low_p,
+            "backtracking should fall with p: p=0.25 → {low_p:.3}, p=8 → {high_p:.3}"
+        );
+    }
+
+    #[test]
+    fn embedding_trains_and_is_finite() {
+        let g = karate_club();
+        let cfg = Node2VecConfig {
+            base: DeepWalkConfig {
+                dim: 8,
+                epochs: 1,
+                seed: 3,
+                ..Default::default()
+            },
+            p: 0.5,
+            q: 2.0,
+        };
+        let z = node2vec(&g, &cfg);
+        assert_eq!(z.shape(), (34, 8));
+        assert!(z.all_finite());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = karate_club();
+        let cfg = Node2VecConfig {
+            base: DeepWalkConfig {
+                dim: 4,
+                epochs: 1,
+                seed: 4,
+                ..Default::default()
+            },
+            p: 2.0,
+            q: 0.5,
+        };
+        assert_eq!(node2vec(&g, &cfg), node2vec(&g, &cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_non_positive_bias() {
+        let g = karate_club();
+        let mut rng = seeded_rng(5);
+        biased_walks(&g, 1, 5, 0.0, 1.0, &mut rng);
+    }
+}

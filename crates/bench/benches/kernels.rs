@@ -1,0 +1,133 @@
+//! Kernel-level microbenchmarks, including the two design-choice ablations
+//! DESIGN.md calls out:
+//!
+//! * **high-order proximity, exact vs top-k pruned** — pruning bounds the
+//!   densification of `A^l` on hub-heavy graphs;
+//! * **reconstruction loss, exact dense vs negative-sampled** — the
+//!   `O(N²)` vs `O(nnz)` trade the model switches on automatically.
+
+use aneci_autograd::Tape;
+use aneci_graph::{generate_sbm, HighOrder, ProximityConfig, SbmConfig};
+use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
+use aneci_linalg::{par, DenseMatrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_graph(n: usize) -> aneci_graph::AttributedGraph {
+    let config = SbmConfig {
+        num_nodes: n,
+        num_classes: 5,
+        target_edges: n * 2,
+        homophily: 0.8,
+        degree_exponent: Some(2.3),
+        feature_dim: 64,
+        features: aneci_graph::FeatureKind::BagOfWords {
+            p_signal: 0.2,
+            p_noise: 0.01,
+        },
+    };
+    generate_sbm(&config, 42)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = seeded_rng(1);
+    for &n in &[128usize, 512] {
+        let a = gaussian_matrix(n, n, 1.0, &mut rng);
+        let b = gaussian_matrix(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bench, _| {
+            bench.iter(|| black_box(par::matmul(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_dense");
+    let mut rng = seeded_rng(2);
+    for &n in &[1000usize, 4000] {
+        let g = bench_graph(n);
+        let s = g.norm_adjacency();
+        let x = gaussian_matrix(n, 64, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(par::spmm_dense(&s, &x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_high_order_proximity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("high_order_proximity");
+    for &n in &[1000usize, 3000] {
+        let g = bench_graph(n);
+        for order in [2usize, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("exact_l{order}"), n),
+                &n,
+                |bench, _| {
+                    let cfg = ProximityConfig::uniform(order);
+                    bench.iter(|| black_box(HighOrder::build(g.adjacency(), &cfg)))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("topk64_l{order}"), n),
+                &n,
+                |bench, _| {
+                    let cfg = ProximityConfig::uniform(order).with_top_k(64);
+                    bench.iter(|| black_box(HighOrder::build(g.adjacency(), &cfg)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_recon_loss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recon_loss");
+    group.sample_size(10);
+    let mut rng = seeded_rng(3);
+    for &n in &[400usize, 1000] {
+        let g = bench_graph(n);
+        let ho = HighOrder::build(g.adjacency(), &ProximityConfig::uniform(2));
+        let p0 = gaussian_matrix(n, 8, 0.5, &mut rng).softmax_rows();
+        let dense_target: Arc<DenseMatrix> = Arc::new(ho.a_tilde.to_dense());
+        let pairs: Arc<[(u32, u32, f64)]> = ho
+            .a_tilde
+            .iter()
+            .map(|(i, j, v)| (i as u32, j as u32, v))
+            .collect::<Vec<_>>()
+            .into();
+        group.bench_with_input(BenchmarkId::new("exact_dense", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut t = Tape::new();
+                let p = t.leaf(p0.clone());
+                let loss = t.dense_recon_bce(p, &dense_target, 1.0);
+                t.backward(loss);
+                black_box(t.grad(p))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sampled_pairs", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut t = Tape::new();
+                let p = t.leaf(p0.clone());
+                let loss = t.pair_bce(p, &pairs);
+                t.backward(loss);
+                black_box(t.grad(p))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_spmm,
+    bench_high_order_proximity,
+    bench_recon_loss
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Training-cost benchmarks backing Table V: one epoch of each model on a
+//! Cora-statistics synthetic graph (quarter scale), so the per-epoch column
+//! can be regenerated with Criterion rigor.
+
+use aneci_baselines::{Dgi, DgiConfig, Gae, GaeConfig, GcnClassifier, GcnConfig};
+use aneci_core::{AneciConfig, AneciModel, StopStrategy};
+use aneci_graph::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let graph = Benchmark::Cora.generate(0.25, 7);
+    let mut group = c.benchmark_group("train_cora_quarter");
+    group.sample_size(10);
+
+    group.bench_function("aneci_one_epoch", |b| {
+        b.iter(|| {
+            let cfg = AneciConfig {
+                epochs: 1,
+                stop: StopStrategy::FixedEpochs,
+                seed: 7,
+                ..Default::default()
+            };
+            let mut model = AneciModel::new(&graph, &cfg);
+            black_box(model.train(None))
+        })
+    });
+
+    group.bench_function("gae_one_epoch", |b| {
+        b.iter(|| {
+            let cfg = GaeConfig {
+                epochs: 1,
+                seed: 7,
+                ..Default::default()
+            };
+            black_box(Gae::fit(&graph, &cfg).losses)
+        })
+    });
+
+    group.bench_function("dgi_one_epoch", |b| {
+        b.iter(|| {
+            let cfg = DgiConfig {
+                epochs: 1,
+                seed: 7,
+                ..Default::default()
+            };
+            black_box(Dgi::fit(&graph, &cfg).losses)
+        })
+    });
+
+    group.bench_function("gcn_one_epoch", |b| {
+        b.iter(|| {
+            let cfg = GcnConfig {
+                epochs: 1,
+                patience: 0,
+                seed: 7,
+                ..Default::default()
+            };
+            black_box(GcnClassifier::fit(&graph, &cfg).train_losses)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_model_setup(c: &mut Criterion) {
+    // Model construction includes the high-order proximity build — worth
+    // tracking separately from the per-epoch cost.
+    let graph = Benchmark::Cora.generate(0.25, 7);
+    let mut group = c.benchmark_group("setup_cora_quarter");
+    group.sample_size(10);
+    group.bench_function("aneci_new", |b| {
+        let cfg = AneciConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        b.iter(|| black_box(AneciModel::new(&graph, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_epoch, bench_model_setup);
+criterion_main!(benches);

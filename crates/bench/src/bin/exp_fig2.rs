@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2 (defense score under random attack).
+fn main() {
+    aneci_bench::exp::fig2::run(&aneci_bench::ExpArgs::parse());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 3 (accuracy under NETTACK-style targeted poisoning).
+use aneci_bench::exp::targeted::{run, AttackKind};
+fn main() {
+    run(&aneci_bench::ExpArgs::parse(), AttackKind::Nettack);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4 (accuracy under the FGA targeted attack).
+use aneci_bench::exp::targeted::{run, AttackKind};
+fn main() {
+    run(&aneci_bench::ExpArgs::parse(), AttackKind::Fga);
+}

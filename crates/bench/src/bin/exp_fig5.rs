@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5 (accuracy under non-targeted random attack).
+fn main() {
+    aneci_bench::exp::fig5::run(&aneci_bench::ExpArgs::parse());
+}

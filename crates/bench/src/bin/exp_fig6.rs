@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 (anomaly-detection AUC with seeded outliers).
+fn main() {
+    aneci_bench::exp::fig6::run(&aneci_bench::ExpArgs::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7 (community-detection modularity).
+fn main() {
+    aneci_bench::exp::fig7::run(&aneci_bench::ExpArgs::parse());
+}

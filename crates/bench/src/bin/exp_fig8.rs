@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8 (t-SNE visualizations) as CSV coordinate files.
+fn main() {
+    aneci_bench::exp::fig8::run(&aneci_bench::ExpArgs::parse());
+}

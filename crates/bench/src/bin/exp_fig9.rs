@@ -1,0 +1,4 @@
+//! Regenerates Fig. 9 (proximity-order sweep and rigidity curves).
+fn main() {
+    aneci_bench::exp::fig9::run(&aneci_bench::ExpArgs::parse());
+}

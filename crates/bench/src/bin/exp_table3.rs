@@ -1,0 +1,4 @@
+//! Regenerates Table III (node classification on clean graphs).
+fn main() {
+    aneci_bench::exp::table3::run(&aneci_bench::ExpArgs::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table IV (ablation study).
+fn main() {
+    aneci_bench::exp::table4::run(&aneci_bench::ExpArgs::parse());
+}

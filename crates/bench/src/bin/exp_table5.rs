@@ -1,0 +1,4 @@
+//! Regenerates Table V (running-time comparison).
+fn main() {
+    aneci_bench::exp::table5::run(&aneci_bench::ExpArgs::parse());
+}

@@ -1,0 +1,23 @@
+//! Runs every experiment in the paper's order. Expect this to take a while
+//! at default scale; pass a smaller `--scale` for a smoke run.
+use aneci_bench::exp;
+use aneci_bench::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "# AnECI full experiment sweep (scale {}, seed {})",
+        args.scale, args.seed
+    );
+    exp::table3::run(&args);
+    exp::fig2::run(&args);
+    exp::targeted::run(&args, exp::targeted::AttackKind::Nettack);
+    exp::targeted::run(&args, exp::targeted::AttackKind::Fga);
+    exp::fig5::run(&args);
+    exp::fig6::run(&args);
+    exp::fig7::run(&args);
+    exp::table4::run(&args);
+    exp::fig8::run(&args);
+    exp::fig9::run(&args);
+    exp::table5::run(&args);
+}

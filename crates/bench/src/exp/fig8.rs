@@ -1,0 +1,55 @@
+//! Fig. 8 — t-SNE visualization of the ablation variants' embeddings.
+//!
+//! Emits one CSV per variant with `(x, y, label)` rows, regenerating the
+//! four panels of the paper's figure. Nodes are subsampled to keep the
+//! exact-t-SNE run fast; every variant uses the identical subsample.
+
+use crate::exp::table4::Variant;
+use crate::{write_csv, ExpArgs};
+use aneci_eval::{tsne, TsneConfig};
+use aneci_linalg::rng::{derive_seed, sample_distinct, seeded_rng};
+
+/// Runs the Fig. 8 export (first requested dataset; paper uses Cora).
+pub fn run(args: &ExpArgs) {
+    let dataset = args.datasets[0];
+    let seed = derive_seed(args.seed, 8000);
+    let graph = dataset.generate(args.scale, seed);
+    let labels = graph.labels.clone().expect("needs labels");
+
+    // Common subsample across variants.
+    let max_points = 500.min(graph.num_nodes());
+    let mut rng = seeded_rng(derive_seed(seed, 1));
+    let mut subset = sample_distinct(graph.num_nodes(), max_points, &mut rng);
+    subset.sort_unstable();
+
+    for variant in Variant::ALL {
+        eprintln!("[fig8] t-SNE for {}", variant.name());
+        let z = variant.embed(&graph, seed).select_rows(&subset);
+        let coords = tsne(
+            &z,
+            &TsneConfig {
+                iterations: 300,
+                seed,
+                ..Default::default()
+            },
+        );
+        let rows: Vec<Vec<String>> = subset
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| {
+                vec![
+                    format!("{:.4}", coords.get(i, 0)),
+                    format!("{:.4}", coords.get(i, 1)),
+                    labels[node].to_string(),
+                ]
+            })
+            .collect();
+        let file = format!(
+            "fig8_{}_{}.csv",
+            dataset.name(),
+            variant.name().to_lowercase().replace([' ', '+'], "")
+        );
+        let path = write_csv(&args.out_dir, &file, "x,y,label", &rows).expect("write csv");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per reproduced table/figure; every module exposes
+//! `run(&ExpArgs)`. The `src/bin/exp_*` binaries are thin wrappers.
+
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod targeted;

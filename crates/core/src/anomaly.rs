@@ -1,0 +1,246 @@
+//! Anomaly scores and the defense score (Sec. VI-B1 / VI-C).
+//!
+//! * **Node anomaly** — the paper (following [43]) derives a score from the
+//!   community-membership vector `p_i = softmax(z_i)`. The extracted formula
+//!   in the source text is garbled, so — per the cited entropy-based scoring
+//!   — we use the *normalized membership entropy*: anomalous nodes straddle
+//!   communities, so their membership is close to uniform and its entropy
+//!   high. `AScore(i) = −Σ_k p_i^k ln p_i^k / ln K ∈ [0, 1]`.
+//! * **Edge anomaly** — `s(e_{ij}) = 1 − cos(z_i, z_j)`: an edge whose
+//!   endpoints the embedding did *not* pull together contributed little to
+//!   the representation and is suspicious.
+//! * **Defense score** — `DS(δ)` = mean edge-anomaly score of the injected
+//!   fake edges divided by that of the clean edges; > 1 means the embedding
+//!   resisted the attack.
+
+use aneci_linalg::DenseMatrix;
+
+/// Normalized membership-entropy anomaly score per node, in `[0, 1]`.
+pub fn node_anomaly_scores(membership: &DenseMatrix) -> Vec<f64> {
+    let k = membership.cols();
+    if k <= 1 {
+        return vec![0.0; membership.rows()];
+    }
+    let log_k = (k as f64).ln();
+    membership
+        .rows_iter()
+        .map(|row| {
+            let h: f64 = row.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum();
+            (h / log_k).clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+/// Cosine similarity of two vectors (0 when either is zero).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Neighborhood-disagreement anomaly score: the mean squared distance
+/// between a node's membership vector and its neighbors' membership
+/// vectors. A community outlier sits (structurally) inside communities its
+/// membership does not match, so this distance is large. Complements the
+/// entropy score: entropy catches *uncertain* nodes, disagreement catches
+/// *confidently misplaced* ones.
+pub fn neighborhood_anomaly_scores(
+    membership: &DenseMatrix,
+    graph: &aneci_graph::AttributedGraph,
+) -> Vec<f64> {
+    assert_eq!(
+        membership.rows(),
+        graph.num_nodes(),
+        "membership row mismatch"
+    );
+    let n = graph.num_nodes();
+    let mut scores = vec![0.0; n];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let nbrs = graph.neighbors(i);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let pi = membership.row(i);
+        let total: f64 = nbrs
+            .iter()
+            .map(|&j| {
+                membership
+                    .row(j)
+                    .iter()
+                    .zip(pi)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            })
+            .sum();
+        scores[i] = total / nbrs.len() as f64;
+    }
+    scores
+}
+
+/// The combined AnECI anomaly score used by the Fig. 6 harness: normalized
+/// membership entropy plus normalized neighborhood disagreement. Both parts
+/// derive purely from the community membership `P`, in the spirit of the
+/// paper's membership-based `AScore` (whose printed formula is corrupted in
+/// the source text — see DESIGN.md).
+pub fn combined_anomaly_scores(
+    membership: &DenseMatrix,
+    graph: &aneci_graph::AttributedGraph,
+) -> Vec<f64> {
+    let entropy = node_anomaly_scores(membership);
+    let mut disagreement = neighborhood_anomaly_scores(membership, graph);
+    let max_d = disagreement
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    for d in &mut disagreement {
+        *d /= max_d;
+    }
+    entropy
+        .iter()
+        .zip(&disagreement)
+        .map(|(&e, &d)| e + d)
+        .collect()
+}
+
+/// Edge anomaly score `s(e_{ij}) = 1 − cos(z_i, z_j)` for each given edge.
+pub fn edge_anomaly_scores(embedding: &DenseMatrix, edges: &[(usize, usize)]) -> Vec<f64> {
+    edges
+        .iter()
+        .map(|&(u, v)| 1.0 - cosine(embedding.row(u), embedding.row(v)))
+        .collect()
+}
+
+/// The defense score `DS(δ)`: ratio of the mean anomaly score of the fake
+/// edges to that of the clean edges. Returns 1.0 when either set is empty
+/// (no attack ⇒ neutral score).
+pub fn defense_score(
+    embedding: &DenseMatrix,
+    clean_edges: &[(usize, usize)],
+    fake_edges: &[(usize, usize)],
+) -> f64 {
+    if clean_edges.is_empty() || fake_edges.is_empty() {
+        return 1.0;
+    }
+    let clean = edge_anomaly_scores(embedding, clean_edges);
+    let fake = edge_anomaly_scores(embedding, fake_edges);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let denom = mean(&clean);
+    if denom <= 0.0 {
+        return 1.0;
+    }
+    mean(&fake) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_score_extremes() {
+        // One-hot membership: zero entropy. Uniform: maximal (1.0).
+        let p = DenseMatrix::from_rows(&[&[1.0, 0.0, 0.0], &[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]]);
+        let s = node_anomaly_scores(&p);
+        assert!(s[0].abs() < 1e-12);
+        assert!((s[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_score_monotone_in_uncertainty() {
+        let p = DenseMatrix::from_rows(&[&[0.9, 0.1], &[0.7, 0.3], &[0.5, 0.5]]);
+        let s = node_anomaly_scores(&p);
+        assert!(s[0] < s[1] && s[1] < s[2]);
+    }
+
+    #[test]
+    fn single_community_scores_zero() {
+        let p = DenseMatrix::filled(4, 1, 1.0);
+        assert_eq!(node_anomaly_scores(&p), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn neighborhood_disagreement_flags_misplaced_node() {
+        // Two triangles joined by one edge; node 0 is confidently assigned
+        // to the *wrong* side.
+        let g = aneci_graph::AttributedGraph::from_edges_plain(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+            None,
+        );
+        let p = DenseMatrix::from_rows(&[
+            &[0.0, 1.0], // misplaced: neighbors 1, 2 are community 0
+            &[1.0, 0.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[0.0, 1.0],
+            &[0.0, 1.0],
+        ]);
+        let s = neighborhood_anomaly_scores(&p, &g);
+        // Node 0 disagrees with both neighbors; nodes 4, 5 with none.
+        assert!(s[0] > s[4] + 0.5);
+        assert!(s[0] > s[5] + 0.5);
+        // Entropy alone is blind here (all rows are one-hot):
+        let e = node_anomaly_scores(&p);
+        assert!(e.iter().all(|&v| v.abs() < 1e-12));
+        // …but the combined score still isolates node 0.
+        let c = combined_anomaly_scores(&p, &g);
+        assert!(c[0] > c[4] && c[0] > c[5]);
+    }
+
+    #[test]
+    fn isolated_nodes_score_zero_disagreement() {
+        let g = aneci_graph::AttributedGraph::from_edges_plain(3, &[(0, 1)], None);
+        let p = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.5, 0.5]]);
+        let s = neighborhood_anomaly_scores(&p, &g);
+        assert_eq!(s[2], 0.0);
+        assert!(s[0] > 0.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn aligned_edges_score_low() {
+        let z = DenseMatrix::from_rows(&[
+            &[1.0, 0.0], // 0
+            &[0.9, 0.1], // 1 — similar to 0
+            &[0.0, 1.0], // 2 — orthogonal to 0
+        ]);
+        let s = edge_anomaly_scores(&z, &[(0, 1), (0, 2)]);
+        assert!(s[0] < 0.1);
+        assert!(s[1] > 0.9);
+    }
+
+    #[test]
+    fn defense_score_rewards_separating_fakes() {
+        // Clean edges connect similar embeddings, fakes connect orthogonal
+        // ones ⇒ DS ≫ 1.
+        let z = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.95, 0.05], &[0.0, 1.0], &[0.05, 0.95]]);
+        let clean = [(0, 1), (2, 3)];
+        let fake = [(0, 2), (1, 3)];
+        let ds = defense_score(&z, &clean, &fake);
+        assert!(ds > 5.0, "DS = {ds}");
+        // An embedding that treats everything identically scores ≈ 1.
+        let flat = DenseMatrix::filled(4, 2, 1.0);
+        let ds_flat = defense_score(&flat, &clean, &fake);
+        assert!((ds_flat - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defense_score_neutral_without_attack() {
+        let z = DenseMatrix::identity(3);
+        assert_eq!(defense_score(&z, &[(0, 1)], &[]), 1.0);
+        assert_eq!(defense_score(&z, &[], &[(0, 1)]), 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! AnECI hyperparameters.
+
+use aneci_graph::ProximityConfig;
+use serde::{Deserialize, Serialize};
+
+/// How the high-order reconstruction loss `L_R` (Eq. 17) is evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ReconMode {
+    /// Exact dense double sum over all `N²` pairs. Used automatically below
+    /// [`AneciConfig::exact_recon_threshold`] nodes.
+    Exact,
+    /// Negative-sampled estimate: every stored entry of `Ã` is a positive
+    /// pair; `neg_ratio` × as many uniformly-random zero pairs are drawn
+    /// fresh each epoch.
+    Sampled {
+        /// Number of negative pairs per positive pair.
+        neg_ratio: usize,
+    },
+    /// Choose per graph: `Exact` for small graphs, `Sampled` above the
+    /// threshold.
+    Auto,
+}
+
+/// Stopping strategy (Sec. V-D describes one per downstream task).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum StopStrategy {
+    /// Run exactly this many epochs (community detection: 600).
+    FixedEpochs,
+    /// Run all epochs, keep the embedding with the best validation-set
+    /// classification accuracy, probed every `eval_every` epochs (node
+    /// classification: 150 epochs).
+    ValidationBest {
+        /// Probe period in epochs.
+        eval_every: usize,
+    },
+    /// Early-stop when the modularity training loss has not improved for
+    /// `patience` epochs (anomaly detection: patience 20/40).
+    EarlyStopModularity {
+        /// Epochs without improvement tolerated.
+        patience: usize,
+    },
+}
+
+/// Full configuration of the AnECI model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AneciConfig {
+    /// Hidden width of the first GCN layer.
+    pub hidden_dim: usize,
+    /// Embedding size `h` (the second GCN layer's width). For community
+    /// tasks the paper sets `h = |C|` so `P = softmax(Z)` is the membership.
+    pub embed_dim: usize,
+    /// LeakyReLU negative slope (`a = 0.01` in the paper).
+    pub leaky_alpha: f64,
+    /// High-order proximity construction (Definition 3).
+    pub proximity: ProximityConfig,
+    /// Weight `β₁` on the (negated) modularity `Q̃` in Eq. 18.
+    pub beta1: f64,
+    /// Weight `β₂` on the reconstruction loss `L_R` in Eq. 18.
+    pub beta2: f64,
+    /// Learning rate (Adam).
+    pub lr: f64,
+    /// Weight decay (decoupled).
+    pub weight_decay: f64,
+    /// Maximum training epochs.
+    pub epochs: usize,
+    /// Stopping strategy.
+    pub stop: StopStrategy,
+    /// Reconstruction-loss evaluation mode.
+    pub recon: ReconMode,
+    /// Node count above which `ReconMode::Auto` switches to sampling.
+    pub exact_recon_threshold: usize,
+    /// RNG seed (weights + negative sampling).
+    pub seed: u64,
+}
+
+impl Default for AneciConfig {
+    fn default() -> Self {
+        Self {
+            hidden_dim: 64,
+            embed_dim: 16,
+            leaky_alpha: 0.01,
+            proximity: ProximityConfig::uniform(2),
+            beta1: 1.0,
+            beta2: 1.0,
+            lr: 0.01,
+            weight_decay: 0.0,
+            epochs: 150,
+            stop: StopStrategy::ValidationBest { eval_every: 10 },
+            recon: ReconMode::Auto,
+            exact_recon_threshold: 1800,
+            seed: 0,
+        }
+    }
+}
+
+impl AneciConfig {
+    /// The paper's node-classification setup: 150 epochs, keep the best
+    /// validation embedding.
+    pub fn for_classification(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's community-detection setup: `h = num_communities`,
+    /// 600 epochs, fixed stop. Third-order proximity — communities are a
+    /// mesoscopic structure and benefit from the longer horizon (Fig. 9a
+    /// shows the same effect for robustness).
+    pub fn for_community_detection(num_communities: usize, seed: u64) -> Self {
+        Self {
+            embed_dim: num_communities,
+            epochs: 600,
+            proximity: ProximityConfig::uniform(3),
+            stop: StopStrategy::FixedEpochs,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's anomaly-detection setup: early stop on the modularity
+    /// loss with the given patience (20 for Cora/Citeseer, 40 for
+    /// Polblogs/Pubmed).
+    pub fn for_anomaly_detection(num_communities: usize, patience: usize, seed: u64) -> Self {
+        Self {
+            embed_dim: num_communities,
+            epochs: 300,
+            stop: StopStrategy::EarlyStopModularity { patience },
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hidden_dim == 0 || self.embed_dim == 0 {
+            return Err("layer widths must be positive".into());
+        }
+        if self.epochs == 0 {
+            return Err("epochs must be positive".into());
+        }
+        if self.lr <= 0.0 {
+            return Err("learning rate must be positive".into());
+        }
+        if self.beta1 < 0.0 || self.beta2 < 0.0 {
+            return Err("loss weights must be non-negative".into());
+        }
+        if let StopStrategy::ValidationBest { eval_every } = self.stop {
+            if eval_every == 0 {
+                return Err("eval_every must be positive".into());
+            }
+        }
+        if let ReconMode::Sampled { neg_ratio } = self.recon {
+            if neg_ratio == 0 {
+                return Err("neg_ratio must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        AneciConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn presets_follow_paper_protocols() {
+        let c = AneciConfig::for_classification(1);
+        assert_eq!(c.epochs, 150);
+        assert!(matches!(c.stop, StopStrategy::ValidationBest { .. }));
+
+        let cd = AneciConfig::for_community_detection(7, 1);
+        assert_eq!(cd.embed_dim, 7);
+        assert_eq!(cd.epochs, 600);
+        assert_eq!(cd.stop, StopStrategy::FixedEpochs);
+
+        let ad = AneciConfig::for_anomaly_detection(7, 20, 1);
+        assert_eq!(ad.stop, StopStrategy::EarlyStopModularity { patience: 20 });
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let c = AneciConfig {
+            hidden_dim: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AneciConfig {
+            lr: -1.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AneciConfig {
+            recon: ReconMode::Sampled { neg_ratio: 0 },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AneciConfig {
+            stop: StopStrategy::ValidationBest { eval_every: 0 },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! k-means++ clustering.
+//!
+//! Used by the community-detection experiment (Fig. 7): baseline embedding
+//! methods don't expose a membership matrix, so — exactly as the paper does
+//! with "Kmeans++ [45]" — their embeddings are clustered and the resulting
+//! partition scored by modularity.
+
+use aneci_linalg::rng::{sample_weighted, seeded_rng};
+use aneci_linalg::DenseMatrix;
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster index per row.
+    pub assignments: Vec<usize>,
+    /// Final centroids (k × d).
+    pub centroids: DenseMatrix,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means with k-means++ seeding until assignment convergence or
+/// `max_iter`. Deterministic in `seed`.
+#[allow(clippy::needless_range_loop)] // centroid/assignment loops read better indexed
+pub fn kmeans(data: &DenseMatrix, k: usize, max_iter: usize, seed: u64) -> KMeansResult {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(k >= 1, "kmeans: k must be positive");
+    assert!(n >= k, "kmeans: fewer points than clusters");
+    let mut rng = seeded_rng(seed);
+
+    // --- k-means++ seeding ---
+    let mut centroids = DenseMatrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(data.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n) // all points identical to chosen centroids
+        } else {
+            sample_weighted(&d2, &mut rng)
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(pick));
+        for (i, dist) in d2.iter_mut().enumerate() {
+            *dist = dist.min(sq_dist(data.row(i), centroids.row(c)));
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for i in 0..n {
+            let row = data.row(i);
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dist = sq_dist(row, centroids.row(c));
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Update.
+        let mut sums = DenseMatrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assignments[i]] += 1;
+            for (s, &v) in sums.row_mut(assignments[i]).iter_mut().zip(data.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(data.row(a), centroids.row(assignments[a]))
+                            .partial_cmp(&sq_dist(data.row(b), centroids.row(assignments[b])))
+                            .unwrap()
+                    })
+                    .unwrap();
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                let src: Vec<f64> = sums.row(c).iter().map(|&v| v * inv).collect();
+                centroids.row_mut(c).copy_from_slice(&src);
+            }
+        }
+    }
+
+    let inertia: f64 = (0..n)
+        .map(|i| sq_dist(data.row(i), centroids.row(assignments[i])))
+        .sum();
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+/// Runs k-means `restarts` times with derived seeds and keeps the lowest
+/// inertia — the standard practice the paper's scikit-learn baseline uses.
+pub fn kmeans_best_of(
+    data: &DenseMatrix,
+    k: usize,
+    max_iter: usize,
+    restarts: usize,
+    seed: u64,
+) -> KMeansResult {
+    assert!(restarts >= 1, "kmeans_best_of: need at least one restart");
+    (0..restarts)
+        .map(|r| {
+            kmeans(
+                data,
+                k,
+                max_iter,
+                aneci_linalg::rng::derive_seed(seed, r as u64),
+            )
+        })
+        .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).unwrap())
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
+
+    fn blobs(k: usize, per: usize, sep: f64, seed: u64) -> (DenseMatrix, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let noise = gaussian_matrix(k * per, 2, 0.3, &mut rng);
+        let x = DenseMatrix::from_fn(k * per, 2, |r, c| {
+            let cl = r / per;
+            let center = [sep * (cl as f64), sep * ((cl * cl) as f64 % 5.0)];
+            center[c] + noise.get(r, c)
+        });
+        let y = (0..k * per).map(|r| r / per).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (x, y) = blobs(3, 60, 4.0, 1);
+        let result = kmeans_best_of(&x, 3, 100, 5, 7);
+        assert!(crate::metrics::nmi(&result.assignments, &y) > 0.95);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let (x, _) = blobs(4, 40, 3.0, 2);
+        let i2 = kmeans_best_of(&x, 2, 100, 3, 3).inertia;
+        let i4 = kmeans_best_of(&x, 4, 100, 3, 3).inertia;
+        let i8 = kmeans_best_of(&x, 8, 100, 3, 3).inertia;
+        assert!(i2 > i4 && i4 > i8);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (x, _) = blobs(3, 30, 3.0, 4);
+        let a = kmeans(&x, 3, 50, 11);
+        let b = kmeans(&x, 3, 50, 11);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let (x, _) = blobs(2, 3, 5.0, 5);
+        let r = kmeans(&x, 6, 50, 9);
+        assert!(r.inertia < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let x = DenseMatrix::from_rows(&[&[0.0, 0.0], &[2.0, 4.0]]);
+        let r = kmeans(&x, 1, 10, 0);
+        assert!((r.centroids.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((r.centroids.get(0, 1) - 2.0).abs() < 1e-12);
+        assert!(r.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer points than clusters")]
+    fn rejects_k_larger_than_n() {
+        let x = DenseMatrix::zeros(2, 2);
+        kmeans(&x, 3, 10, 0);
+    }
+}

@@ -1,0 +1,596 @@
+//! Synthetic attributed-network generators.
+//!
+//! The paper evaluates on Cora, Citeseer, Pubmed and Polblogs. Those
+//! downloads are not available in this offline environment, so — per the
+//! substitution policy in `DESIGN.md` — each benchmark is replaced by a
+//! **degree-corrected stochastic block model** with class-conditional sparse
+//! Bernoulli ("bag-of-words") attributes, parameterized to match the
+//! dataset's published statistics (Table II of the paper): node count, edge
+//! count, class count, attribute dimensionality, plus a homophily level
+//! typical of the real network. The phenomena the paper measures — community
+//! structure, attribute signal, fragility of first-order methods under edge
+//! attacks — are all properties these generators control directly.
+
+use crate::attributed::{AttributedGraph, Split};
+use aneci_linalg::rng::{derive_seed, sample_weighted, seeded_rng, shuffle};
+use aneci_linalg::DenseMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How node attributes are generated.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Sparse binary bag-of-words: each class owns a block of "topic" words;
+    /// a node switches its class's words on with `p_signal` and every other
+    /// word with `p_noise`. Mimics the TF-IDF-binarized citation datasets.
+    BagOfWords {
+        /// Probability a topic word of the node's own class is active.
+        p_signal: f64,
+        /// Probability any other word is active.
+        p_noise: f64,
+    },
+    /// Dense Gaussian mixture: class centroid ± isotropic noise.
+    Gaussian {
+        /// Distance scale of the class centroids.
+        separation: f64,
+        /// Isotropic noise standard deviation.
+        noise: f64,
+    },
+    /// Identity features (plain networks — the paper's Polblogs protocol).
+    Identity,
+}
+
+/// Full generator configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SbmConfig {
+    /// Number of nodes `N`.
+    pub num_nodes: usize,
+    /// Number of planted communities / classes.
+    pub num_classes: usize,
+    /// Target number of undirected edges `M` (achieved in expectation).
+    pub target_edges: usize,
+    /// Fraction of edges that are intra-community (edge homophily).
+    pub homophily: f64,
+    /// Power-law exponent for the degree-correction propensities; `None`
+    /// gives the plain (uniform-propensity) SBM.
+    pub degree_exponent: Option<f64>,
+    /// Attribute dimensionality `d` (ignored for `Identity`).
+    pub feature_dim: usize,
+    /// Attribute model.
+    pub features: FeatureKind,
+}
+
+impl SbmConfig {
+    /// A sensible mid-size default: 600 nodes, 4 communities.
+    pub fn small() -> Self {
+        Self {
+            num_nodes: 600,
+            num_classes: 4,
+            target_edges: 2400,
+            homophily: 0.8,
+            degree_exponent: Some(2.5),
+            feature_dim: 128,
+            features: FeatureKind::BagOfWords {
+                p_signal: 0.35,
+                p_noise: 0.01,
+            },
+        }
+    }
+}
+
+/// Generates an attributed SBM graph. Deterministic in `seed`.
+#[allow(clippy::needless_range_loop)] // block loops over class indices
+pub fn generate_sbm(config: &SbmConfig, seed: u64) -> AttributedGraph {
+    assert!(config.num_classes >= 1, "need at least one class");
+    assert!(
+        config.num_nodes >= config.num_classes,
+        "need at least one node per class"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.homophily),
+        "homophily must be in [0,1]"
+    );
+    let mut rng = seeded_rng(derive_seed(seed, 0xB10C));
+    let n = config.num_nodes;
+    let k = config.num_classes;
+
+    // Balanced labels, randomly permuted over node ids so that node index
+    // carries no information.
+    let mut labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+    shuffle(&mut labels, &mut rng);
+
+    // Degree-correction propensities (Pareto-ish power law, normalized per
+    // class so block edge budgets stay exact in expectation).
+    let theta: Vec<f64> = match config.degree_exponent {
+        Some(alpha) => {
+            assert!(alpha > 1.0, "degree exponent must exceed 1");
+            (0..n)
+                .map(|_| {
+                    let u: f64 = rng.gen::<f64>().max(1e-12);
+                    u.powf(-1.0 / (alpha - 1.0)).min(20.0)
+                })
+                .collect()
+        }
+        None => vec![1.0; n],
+    };
+
+    // Edge budgets per class pair.
+    let members: Vec<Vec<usize>> = {
+        let mut m = vec![Vec::new(); k];
+        for (i, &l) in labels.iter().enumerate() {
+            m[l].push(i);
+        }
+        m
+    };
+    let intra_budget = config.target_edges as f64 * config.homophily;
+    let inter_budget = config.target_edges as f64 - intra_budget;
+    let intra_pairs: f64 = members
+        .iter()
+        .map(|c| (c.len() * c.len().saturating_sub(1)) as f64 / 2.0)
+        .sum();
+    let inter_pairs = (n * (n - 1)) as f64 / 2.0 - intra_pairs;
+
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let sample_block = |rng: &mut rand::rngs::StdRng,
+                        edges: &mut BTreeSet<(usize, usize)>,
+                        a: &[usize],
+                        b: Option<&[usize]>,
+                        count: usize| {
+        // Weighted endpoint sampling with rejection of self-loops/dups.
+        let wa: Vec<f64> = a.iter().map(|&i| theta[i]).collect();
+        let wb: Vec<f64> = match b {
+            Some(bs) => bs.iter().map(|&i| theta[i]).collect(),
+            None => wa.clone(),
+        };
+        let mut placed = 0;
+        let mut attempts = 0usize;
+        let max_attempts = count * 30 + 200;
+        while placed < count && attempts < max_attempts {
+            attempts += 1;
+            let u = a[sample_weighted(&wa, rng)];
+            let v = match b {
+                Some(bs) => bs[sample_weighted(&wb, rng)],
+                None => a[sample_weighted(&wb, rng)],
+            };
+            if u == v {
+                continue;
+            }
+            if edges.insert((u.min(v), u.max(v))) {
+                placed += 1;
+            }
+        }
+    };
+
+    // Intra-community edges: split the budget across classes by pair counts.
+    for c in 0..k {
+        let pairs = (members[c].len() * members[c].len().saturating_sub(1)) as f64 / 2.0;
+        if pairs == 0.0 || intra_pairs == 0.0 {
+            continue;
+        }
+        let quota = (intra_budget * pairs / intra_pairs).round() as usize;
+        sample_block(&mut rng, &mut edges, &members[c], None, quota);
+    }
+    // Inter-community edges, split across class pairs.
+    for c1 in 0..k {
+        for c2 in (c1 + 1)..k {
+            let pairs = (members[c1].len() * members[c2].len()) as f64;
+            if pairs == 0.0 || inter_pairs == 0.0 {
+                continue;
+            }
+            let quota = (inter_budget * pairs / inter_pairs).round() as usize;
+            sample_block(
+                &mut rng,
+                &mut edges,
+                &members[c1],
+                Some(&members[c2]),
+                quota,
+            );
+        }
+    }
+
+    let features = generate_features(&labels, config, derive_seed(seed, 0xFEA7));
+    let edge_list: Vec<(usize, usize)> = edges.into_iter().collect();
+    AttributedGraph::from_edges(n, &edge_list, features, Some(labels))
+}
+
+/// Generates the feature matrix for a given label vector.
+pub fn generate_features(labels: &[usize], config: &SbmConfig, seed: u64) -> DenseMatrix {
+    let n = labels.len();
+    let k = labels.iter().copied().max().map_or(1, |m| m + 1);
+    let mut rng = seeded_rng(seed);
+    match config.features {
+        FeatureKind::Identity => DenseMatrix::identity(n),
+        FeatureKind::BagOfWords { p_signal, p_noise } => {
+            let d = config.feature_dim;
+            let block = (d / k).max(1);
+            DenseMatrix::from_fn(n, d, |i, j| {
+                let class = labels[i];
+                let topic_lo = class * block;
+                let topic_hi = if class == k - 1 {
+                    d
+                } else {
+                    (class + 1) * block
+                };
+                let p = if j >= topic_lo && j < topic_hi {
+                    p_signal
+                } else {
+                    p_noise
+                };
+                if rng.gen::<f64>() < p {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+        }
+        FeatureKind::Gaussian { separation, noise } => {
+            let d = config.feature_dim;
+            // Deterministic centroids on separate axes blocks.
+            let mut centroids = DenseMatrix::zeros(k, d);
+            let block = (d / k).max(1);
+            for c in 0..k {
+                for j in (c * block)..(((c + 1) * block).min(d)) {
+                    centroids.set(c, j, separation);
+                }
+            }
+            DenseMatrix::from_fn(n, d, |i, j| {
+                centroids.get(labels[i], j) + noise * aneci_linalg::rng::standard_normal(&mut rng)
+            })
+        }
+    }
+}
+
+/// Samples the paper's split protocol: `train_per_class` labelled nodes per
+/// class, then `val_count` and `test_count` from the remainder.
+pub fn sample_split(
+    labels: &[usize],
+    train_per_class: usize,
+    val_count: usize,
+    test_count: usize,
+    seed: u64,
+) -> Split {
+    let n = labels.len();
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut rng = seeded_rng(derive_seed(seed, 0x5B117));
+    let mut order: Vec<usize> = (0..n).collect();
+    shuffle(&mut order, &mut rng);
+
+    let mut train = Vec::new();
+    let mut per_class = vec![0usize; k];
+    let mut rest = Vec::new();
+    for &i in &order {
+        let c = labels[i];
+        if per_class[c] < train_per_class {
+            per_class[c] += 1;
+            train.push(i);
+        } else {
+            rest.push(i);
+        }
+    }
+    let val: Vec<usize> = rest.iter().copied().take(val_count).collect();
+    let test: Vec<usize> = rest
+        .iter()
+        .copied()
+        .skip(val_count)
+        .take(test_count)
+        .collect();
+    Split { train, val, test }
+}
+
+/// Identifier for the four benchmark datasets of the paper (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Cora citation network: 2708 nodes, 5429 edges, 7 classes, d=1433.
+    Cora,
+    /// Citeseer citation network: 3327 nodes, 4732 edges, 6 classes, d=3703.
+    Citeseer,
+    /// Polblogs hyperlink network: 1490 nodes, 16715 edges, 2 classes, no
+    /// attributes (identity features).
+    Polblogs,
+    /// Pubmed citation network: 19717 nodes, 44338 edges, 3 classes, d=500.
+    Pubmed,
+}
+
+impl Benchmark {
+    /// All four benchmarks in the paper's order.
+    pub const ALL: [Benchmark; 4] = [Self::Cora, Self::Citeseer, Self::Polblogs, Self::Pubmed];
+
+    /// Lower-case dataset name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Cora => "cora",
+            Self::Citeseer => "citeseer",
+            Self::Polblogs => "polblogs",
+            Self::Pubmed => "pubmed",
+        }
+    }
+
+    /// Parses a name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "cora" => Some(Self::Cora),
+            "citeseer" => Some(Self::Citeseer),
+            "polblogs" => Some(Self::Polblogs),
+            "pubmed" => Some(Self::Pubmed),
+            _ => None,
+        }
+    }
+
+    /// The generator configuration matching the dataset's Table II
+    /// statistics, shrunk by `scale ∈ (0, 1]` (node and edge counts are
+    /// multiplied by `scale`; class/attribute structure is preserved).
+    pub fn config(&self, scale: f64) -> SbmConfig {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let s = |x: usize| ((x as f64 * scale).round() as usize).max(1);
+        match self {
+            Self::Cora => SbmConfig {
+                num_nodes: s(2708),
+                num_classes: 7,
+                target_edges: s(5429),
+                homophily: 0.81,
+                degree_exponent: Some(2.6),
+                feature_dim: 1433,
+                features: FeatureKind::BagOfWords {
+                    p_signal: 0.05,
+                    p_noise: 0.008,
+                },
+            },
+            Self::Citeseer => SbmConfig {
+                num_nodes: s(3327),
+                num_classes: 6,
+                target_edges: s(4732),
+                homophily: 0.74,
+                degree_exponent: Some(2.8),
+                feature_dim: 3703,
+                features: FeatureKind::BagOfWords {
+                    p_signal: 0.04,
+                    p_noise: 0.005,
+                },
+            },
+            Self::Polblogs => SbmConfig {
+                num_nodes: s(1490),
+                num_classes: 2,
+                target_edges: s(16715),
+                homophily: 0.91,
+                degree_exponent: Some(2.2),
+                feature_dim: 0,
+                features: FeatureKind::Identity,
+            },
+            Self::Pubmed => SbmConfig {
+                num_nodes: s(19717),
+                num_classes: 3,
+                target_edges: s(44338),
+                homophily: 0.80,
+                degree_exponent: Some(2.9),
+                feature_dim: 500,
+                features: FeatureKind::BagOfWords {
+                    p_signal: 0.10,
+                    p_noise: 0.015,
+                },
+            },
+        }
+    }
+
+    /// The paper's split sizes: 20 labelled nodes per class, 500 validation,
+    /// and 1000 test (950 for Polblogs). Scaled consistently.
+    pub fn split_sizes(&self, scale: f64) -> (usize, usize, usize) {
+        let s = |x: usize| ((x as f64 * scale).round() as usize).max(1);
+        match self {
+            Self::Polblogs => (s(20), s(500), s(950)),
+            _ => (s(20), s(500), s(1000)),
+        }
+    }
+
+    /// Generates the full benchmark graph with its split attached.
+    pub fn generate(&self, scale: f64, seed: u64) -> AttributedGraph {
+        let config = self.config(scale);
+        let mut g = generate_sbm(&config, derive_seed(seed, *self as u64 + 101));
+        let (tpc, val, test) = self.split_sizes(scale);
+        let labels = g.labels.clone().expect("generated graphs are labelled");
+        let split = sample_split(
+            &labels,
+            tpc,
+            val,
+            test,
+            derive_seed(seed, *self as u64 + 202),
+        );
+        g.set_split(split);
+        g.name = self.name().to_string();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbm_matches_requested_statistics() {
+        let cfg = SbmConfig::small();
+        let g = generate_sbm(&cfg, 7);
+        assert_eq!(g.num_nodes(), 600);
+        assert_eq!(g.num_classes(), 4);
+        // Edge count within 10% of target (rejection sampling loses a few).
+        let m = g.num_edges() as f64;
+        assert!((m - 2400.0).abs() / 2400.0 < 0.1, "edges = {m}");
+        // Homophily near target.
+        let h = g.edge_homophily().unwrap();
+        assert!((h - 0.8).abs() < 0.07, "homophily = {h}");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn sbm_is_deterministic_in_seed() {
+        let cfg = SbmConfig::small();
+        let a = generate_sbm(&cfg, 9);
+        let b = generate_sbm(&cfg, 9);
+        assert_eq!(a.edge_list(), b.edge_list());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.features(), b.features());
+        let c = generate_sbm(&cfg, 10);
+        assert_ne!(a.edge_list(), c.edge_list());
+    }
+
+    #[test]
+    fn degree_correction_produces_heavier_tail() {
+        let mut cfg = SbmConfig::small();
+        cfg.degree_exponent = None;
+        let flat = generate_sbm(&cfg, 11);
+        cfg.degree_exponent = Some(2.2);
+        let heavy = generate_sbm(&cfg, 11);
+        let max_flat = *flat.degrees().iter().max().unwrap();
+        let max_heavy = *heavy.degrees().iter().max().unwrap();
+        assert!(
+            max_heavy > max_flat,
+            "expected heavier tail: flat max {max_flat}, heavy max {max_heavy}"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn bag_of_words_features_are_class_informative() {
+        let cfg = SbmConfig::small();
+        let g = generate_sbm(&cfg, 13);
+        let labels = g.labels.as_ref().unwrap();
+        let x = g.features();
+        let block = cfg.feature_dim / cfg.num_classes;
+        // Signal density inside a node's own topic block must dominate noise.
+        let mut own = 0.0;
+        let mut other = 0.0;
+        let mut own_n = 0.0;
+        let mut other_n = 0.0;
+        for i in 0..g.num_nodes() {
+            let lo = labels[i] * block;
+            let hi = lo + block;
+            for j in 0..cfg.feature_dim {
+                if j >= lo && j < hi {
+                    own += x.get(i, j);
+                    own_n += 1.0;
+                } else {
+                    other += x.get(i, j);
+                    other_n += 1.0;
+                }
+            }
+        }
+        assert!(own / own_n > 10.0 * (other / other_n));
+    }
+
+    #[test]
+    fn gaussian_features_cluster_by_class() {
+        let mut cfg = SbmConfig::small();
+        cfg.features = FeatureKind::Gaussian {
+            separation: 2.0,
+            noise: 0.5,
+        };
+        cfg.feature_dim = 16;
+        let g = generate_sbm(&cfg, 17);
+        let labels = g.labels.as_ref().unwrap();
+        let x = g.features();
+        // Same-class pairs should be closer on average than cross-class.
+        let mut same = (0.0, 0);
+        let mut diff = (0.0, 0);
+        for i in (0..g.num_nodes()).step_by(7) {
+            for j in (0..g.num_nodes()).step_by(11) {
+                if i == j {
+                    continue;
+                }
+                let d: f64 = x
+                    .row(i)
+                    .iter()
+                    .zip(x.row(j))
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                if labels[i] == labels[j] {
+                    same = (same.0 + d, same.1 + 1);
+                } else {
+                    diff = (diff.0 + d, diff.1 + 1);
+                }
+            }
+        }
+        assert!(same.0 / same.1 as f64 + 0.5 < diff.0 / diff.1 as f64);
+    }
+
+    #[test]
+    fn split_respects_protocol() {
+        let labels: Vec<usize> = (0..3000).map(|i| i % 3).collect();
+        let split = sample_split(&labels, 20, 500, 1000, 3);
+        assert_eq!(split.train.len(), 60);
+        assert_eq!(split.val.len(), 500);
+        assert_eq!(split.test.len(), 1000);
+        split.validate(3000).unwrap();
+        // Exactly 20 per class in train.
+        for c in 0..3 {
+            assert_eq!(split.train.iter().filter(|&&i| labels[i] == c).count(), 20);
+        }
+    }
+
+    #[test]
+    fn benchmark_specs_match_table_ii() {
+        let cora = Benchmark::Cora.config(1.0);
+        assert_eq!(
+            (
+                cora.num_nodes,
+                cora.target_edges,
+                cora.num_classes,
+                cora.feature_dim
+            ),
+            (2708, 5429, 7, 1433)
+        );
+        let cs = Benchmark::Citeseer.config(1.0);
+        assert_eq!(
+            (
+                cs.num_nodes,
+                cs.target_edges,
+                cs.num_classes,
+                cs.feature_dim
+            ),
+            (3327, 4732, 6, 3703)
+        );
+        let pb = Benchmark::Polblogs.config(1.0);
+        assert_eq!(
+            (pb.num_nodes, pb.target_edges, pb.num_classes),
+            (1490, 16715, 2)
+        );
+        assert_eq!(pb.features, FeatureKind::Identity);
+        let pm = Benchmark::Pubmed.config(1.0);
+        assert_eq!(
+            (
+                pm.num_nodes,
+                pm.target_edges,
+                pm.num_classes,
+                pm.feature_dim
+            ),
+            (19717, 44338, 3, 500)
+        );
+    }
+
+    #[test]
+    fn scaled_benchmark_generates_with_split() {
+        let g = Benchmark::Cora.generate(0.25, 5);
+        assert_eq!(g.num_nodes(), 677);
+        assert_eq!(g.name, "cora");
+        assert!(!g.split.train.is_empty());
+        assert!(!g.split.test.is_empty());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn benchmark_parse_roundtrip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::parse(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::parse("CORA"), Some(Benchmark::Cora));
+        assert_eq!(Benchmark::parse("unknown"), None);
+    }
+
+    #[test]
+    fn polblogs_uses_identity_features() {
+        let g = Benchmark::Polblogs.generate(0.2, 8);
+        assert_eq!(g.num_features(), g.num_nodes());
+        // Identity: row i has a single 1 at column i.
+        assert_eq!(g.features().get(3, 3), 1.0);
+        assert_eq!(g.features().row(3).iter().sum::<f64>(), 1.0);
+    }
+}

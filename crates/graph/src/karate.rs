@@ -1,0 +1,147 @@
+//! Zachary's karate club — the one *real* network embedded in the crate.
+//!
+//! 34 nodes, 78 edges, and the canonical two-faction ground truth (Mr. Hi
+//! vs. the Officer). Public-domain data, small enough to inline; used by
+//! examples and as a ground-truth sanity check in tests (the synthetic
+//! benchmark datasets are generated, see [`crate::generators`]).
+
+use crate::attributed::AttributedGraph;
+use aneci_linalg::DenseMatrix;
+
+/// The 78 undirected edges of the karate-club network (0-indexed).
+pub const KARATE_EDGES: [(usize, usize); 78] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (0, 7),
+    (0, 8),
+    (0, 10),
+    (0, 11),
+    (0, 12),
+    (0, 13),
+    (0, 17),
+    (0, 19),
+    (0, 21),
+    (0, 31),
+    (1, 2),
+    (1, 3),
+    (1, 7),
+    (1, 13),
+    (1, 17),
+    (1, 19),
+    (1, 21),
+    (1, 30),
+    (2, 3),
+    (2, 7),
+    (2, 8),
+    (2, 9),
+    (2, 13),
+    (2, 27),
+    (2, 28),
+    (2, 32),
+    (3, 7),
+    (3, 12),
+    (3, 13),
+    (4, 6),
+    (4, 10),
+    (5, 6),
+    (5, 10),
+    (5, 16),
+    (6, 16),
+    (8, 30),
+    (8, 32),
+    (8, 33),
+    (9, 33),
+    (13, 33),
+    (14, 32),
+    (14, 33),
+    (15, 32),
+    (15, 33),
+    (18, 32),
+    (18, 33),
+    (19, 33),
+    (20, 32),
+    (20, 33),
+    (22, 32),
+    (22, 33),
+    (23, 25),
+    (23, 27),
+    (23, 29),
+    (23, 32),
+    (23, 33),
+    (24, 25),
+    (24, 27),
+    (24, 31),
+    (25, 31),
+    (26, 29),
+    (26, 33),
+    (27, 33),
+    (28, 31),
+    (28, 33),
+    (29, 32),
+    (29, 33),
+    (30, 32),
+    (30, 33),
+    (31, 32),
+    (31, 33),
+    (32, 33),
+];
+
+/// The observed post-split faction of each member: 0 = Mr. Hi (node 0),
+/// 1 = the Officer (node 33).
+pub const KARATE_FACTIONS: [usize; 34] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+    1, 1,
+];
+
+/// Builds the karate-club graph with identity features and faction labels.
+pub fn karate_club() -> AttributedGraph {
+    let mut g = AttributedGraph::from_edges(
+        34,
+        &KARATE_EDGES,
+        DenseMatrix::identity(34),
+        Some(KARATE_FACTIONS.to_vec()),
+    );
+    g.name = "karate".to_string();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_statistics() {
+        let g = karate_club();
+        assert_eq!(g.num_nodes(), 34);
+        assert_eq!(g.num_edges(), 78);
+        assert_eq!(g.num_classes(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn famous_degrees() {
+        let g = karate_club();
+        // Mr. Hi and the Officer are the two hubs.
+        assert_eq!(g.degree(0), 16);
+        assert_eq!(g.degree(33), 17);
+        assert_eq!(g.degree(32), 12);
+    }
+
+    #[test]
+    fn factions_are_assortative() {
+        let g = karate_club();
+        // The split follows the social structure: strong homophily.
+        assert!(g.edge_homophily().unwrap() > 0.85);
+    }
+
+    #[test]
+    fn faction_sizes() {
+        let zeros = KARATE_FACTIONS.iter().filter(|&&f| f == 0).count();
+        assert_eq!(zeros, 17);
+        assert_eq!(KARATE_FACTIONS.len() - zeros, 17);
+    }
+}

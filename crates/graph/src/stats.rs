@@ -1,0 +1,209 @@
+//! Descriptive graph statistics.
+//!
+//! Used to validate that the synthetic benchmark generators actually
+//! reproduce the structural properties the substitution argument relies on
+//! (degree heavy-tails, clustering, connectivity), and exported for
+//! examples and experiment logging.
+
+use crate::attributed::AttributedGraph;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Global clustering coefficient (transitivity).
+    pub transitivity: f64,
+    /// Number of connected components.
+    pub components: usize,
+    /// Size of the largest component.
+    pub largest_component: usize,
+    /// Edge homophily (same-label edge fraction), when labelled.
+    pub homophily: Option<f64>,
+}
+
+/// Connected components via iterative DFS. Returns a component id per node.
+pub fn connected_components(graph: &AttributedGraph) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut component = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        stack.push(start);
+        component[start] = next;
+        while let Some(u) = stack.pop() {
+            for v in graph.neighbors(u) {
+                if component[v] == usize::MAX {
+                    component[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    component
+}
+
+/// Global clustering coefficient: `3 × triangles / connected triples`.
+pub fn transitivity(graph: &AttributedGraph) -> f64 {
+    let n = graph.num_nodes();
+    let neighbor_sets: Vec<std::collections::BTreeSet<usize>> = (0..n)
+        .map(|u| graph.neighbors(u).into_iter().collect())
+        .collect();
+    let mut triangles = 0usize; // each counted 3 times (once per corner pair)
+    let mut triples = 0usize;
+    for u in 0..n {
+        let d = neighbor_sets[u].len();
+        triples += d * d.saturating_sub(1) / 2;
+        let nbrs: Vec<usize> = neighbor_sets[u].iter().copied().collect();
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if neighbor_sets[a].contains(&b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Computes the full summary.
+pub fn graph_stats(graph: &AttributedGraph) -> GraphStats {
+    let degrees = graph.degrees();
+    let comps = connected_components(graph);
+    let num_comps = comps.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; num_comps];
+    for &c in &comps {
+        sizes[c] += 1;
+    }
+    GraphStats {
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        mean_degree: graph.average_degree(),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        transitivity: transitivity(graph),
+        components: num_comps,
+        largest_component: sizes.iter().copied().max().unwrap_or(0),
+        homophily: graph.edge_homophily(),
+    }
+}
+
+/// Degree histogram as `(degree, count)` pairs in ascending degree order.
+pub fn degree_histogram(graph: &AttributedGraph) -> Vec<(usize, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for d in graph.degrees() {
+        *counts.entry(d).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// A crude power-law tail indicator: the ratio of the 99th-percentile
+/// degree to the median degree. Heavy-tailed (scale-free-ish) graphs score
+/// well above light-tailed ones — enough to discriminate dc-SBM from plain
+/// SBM in tests without a full maximum-likelihood fit.
+pub fn tail_ratio(graph: &AttributedGraph) -> f64 {
+    let mut degrees = graph.degrees();
+    if degrees.is_empty() {
+        return 0.0;
+    }
+    degrees.sort_unstable();
+    let p = |q: f64| degrees[((degrees.len() - 1) as f64 * q) as usize] as f64;
+    let median = p(0.5).max(1.0);
+    p(0.99) / median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate_sbm, SbmConfig};
+    use crate::karate::karate_club;
+    use crate::AttributedGraph;
+
+    #[test]
+    fn karate_statistics() {
+        let s = graph_stats(&karate_club());
+        assert_eq!(s.nodes, 34);
+        assert_eq!(s.edges, 78);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.largest_component, 34);
+        assert_eq!(s.max_degree, 17);
+        // Known transitivity of karate ≈ 0.2557.
+        assert!(
+            (s.transitivity - 0.2557).abs() < 0.01,
+            "T = {}",
+            s.transitivity
+        );
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = AttributedGraph::from_edges_plain(6, &[(0, 1), (1, 2), (3, 4)], None);
+        let c = connected_components(&g);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[1], c[2]);
+        assert_eq!(c[3], c[4]);
+        assert_ne!(c[0], c[3]);
+        assert_ne!(c[5], c[0]);
+        assert_ne!(c[5], c[3]);
+        let s = graph_stats(&g);
+        assert_eq!(s.components, 3);
+        assert_eq!(s.largest_component, 3);
+    }
+
+    #[test]
+    fn transitivity_of_triangle_and_star() {
+        let triangle = AttributedGraph::from_edges_plain(3, &[(0, 1), (1, 2), (2, 0)], None);
+        assert!((transitivity(&triangle) - 1.0).abs() < 1e-12);
+        let star = AttributedGraph::from_edges_plain(4, &[(0, 1), (0, 2), (0, 3)], None);
+        assert_eq!(transitivity(&star), 0.0);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = karate_club();
+        let hist = degree_histogram(&g);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 34);
+        // Histogram is sorted by degree.
+        for w in hist.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn degree_correction_shows_in_tail_ratio() {
+        let mut cfg = SbmConfig::small();
+        cfg.degree_exponent = None;
+        let flat = generate_sbm(&cfg, 3);
+        cfg.degree_exponent = Some(2.2);
+        let heavy = generate_sbm(&cfg, 3);
+        assert!(
+            tail_ratio(&heavy) > tail_ratio(&flat),
+            "heavy {} vs flat {}",
+            tail_ratio(&heavy),
+            tail_ratio(&flat)
+        );
+    }
+
+    #[test]
+    fn empty_graph_degrades() {
+        let g = AttributedGraph::from_edges_plain(0, &[], None);
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(tail_ratio(&g), 0.0);
+    }
+}

@@ -1,0 +1,684 @@
+//! Dense, row-major, `f64` matrices.
+//!
+//! This is the workhorse type of the whole reproduction: GCN activations,
+//! weight matrices, embeddings and membership matrices are all [`DenseMatrix`].
+//! The layout is plain row-major `Vec<f64>` so rows are contiguous and can be
+//! handed out as slices, which the multi-threaded kernels in [`crate::par`]
+//! rely on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for r in 0..show_rows {
+            let row = self.row(r);
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let ellipsis = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl DenseMatrix {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a generator function over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Builds a single-column matrix from a vector.
+    pub fn column(values: &[f64]) -> Self {
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to entry `(r, c)`.
+    #[inline]
+    pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Row `r` as a mutable contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Copies column `c` out into a new vector.
+    pub fn col_to_vec(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        // Block the transpose for cache friendliness on large matrices.
+        const B: usize = 32;
+        for rb in (0..self.rows).step_by(B) {
+            for cb in (0..self.cols).step_by(B) {
+                for r in rb..(rb + B).min(self.rows) {
+                    for c in cb..(cb + B).min(self.cols) {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// `self + other`, elementwise.
+    pub fn add(&self, other: &DenseMatrix) -> DenseMatrix {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self - other`, elementwise.
+    pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// `self ⊙ other` (Hadamard product).
+    pub fn hadamard(&self, other: &DenseMatrix) -> DenseMatrix {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Generic elementwise zip of two same-shape matrices.
+    pub fn zip(&self, other: &DenseMatrix, f: impl Fn(f64, f64) -> f64) -> DenseMatrix {
+        assert_eq!(self.shape(), other.shape(), "zip: shape mismatch");
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += other`, elementwise.
+    pub fn add_assign(&mut self, other: &DenseMatrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`, elementwise (axpy).
+    pub fn axpy(&mut self, alpha: f64, other: &DenseMatrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `alpha * self` into a new matrix.
+    pub fn scale(&self, alpha: f64) -> DenseMatrix {
+        self.map(|v| v * alpha)
+    }
+
+    /// `self *= alpha` in place.
+    pub fn scale_inplace(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius inner product `<self, other>`.
+    pub fn dot(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "dot: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "trace: matrix is not square");
+        (0..self.rows).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Dense matrix product `self * other` (single-threaded i-k-j kernel).
+    ///
+    /// For large matrices prefer [`crate::par::matmul`], which splits rows
+    /// across threads; this method is kept for small shapes and tests.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimension mismatch {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        matmul_into(self, other, &mut out);
+        out
+    }
+
+    /// `selfᵀ * other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn: row mismatch {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = DenseMatrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * otherᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt: column mismatch {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = DenseMatrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            for c in 0..other.rows {
+                let b_row = other.row(c);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
+        self.rows_iter()
+            .map(|row| row.iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Row-wise softmax (each output row sums to 1). Numerically stabilized.
+    pub fn softmax_rows(&self) -> DenseMatrix {
+        let mut out = self.clone();
+        out.softmax_rows_inplace();
+        out
+    }
+
+    /// In-place row-wise softmax.
+    pub fn softmax_rows_inplace(&mut self) {
+        let cols = self.cols;
+        for row in self.data.chunks_exact_mut(cols.max(1)) {
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// L2-normalizes every row (rows of zero norm are left untouched).
+    pub fn l2_normalize_rows(&self) -> DenseMatrix {
+        let mut out = self.clone();
+        let cols = out.cols;
+        for row in out.data.chunks_exact_mut(cols.max(1)) {
+            let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-row sums.
+    pub fn row_sums(&self) -> Vec<f64> {
+        self.rows_iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Per-column sums.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for row in self.rows_iter() {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hstack(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, other.rows, "hstack: row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        DenseMatrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Selects a subset of rows into a new matrix.
+    pub fn select_rows(&self, idx: &[usize]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Index of the maximum entry in each row (ties broken toward the lower
+    /// index). Returns an empty vector for zero-column matrices.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        if self.cols == 0 {
+            return vec![0; self.rows];
+        }
+        self.rows_iter()
+            .map(|row| {
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// True when every entry is finite (no NaN/∞) — useful as a training
+    /// sanity check.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Writes `a * b` into `out` (shapes must already agree). The `i-k-j` loop
+/// order keeps the inner loop streaming over contiguous rows of `b` and
+/// `out`, which auto-vectorizes well.
+pub(crate) fn matmul_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix) {
+    debug_assert_eq!(a.cols, b.rows);
+    debug_assert_eq!(out.rows, a.rows);
+    debug_assert_eq!(out.cols, b.cols);
+    for r in 0..a.rows {
+        let a_row = a.row(r);
+        let out_row = out.row_mut(r);
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = b.row(k);
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = DenseMatrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, DenseMatrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = DenseMatrix::from_fn(5, 3, |r, c| (r * 3 + c) as f64 * 0.5 - 2.0);
+        let b = DenseMatrix::from_fn(5, 4, |r, c| (r + c) as f64 * 0.25);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!(fast.sub(&slow).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = DenseMatrix::from_fn(4, 6, |r, c| (r as f64 - c as f64) * 0.3);
+        let b = DenseMatrix::from_fn(5, 6, |r, c| (r * c) as f64 * 0.1 + 1.0);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        assert!(fast.sub(&slow).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = DenseMatrix::from_fn(7, 11, |r, c| (r * 13 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_positive() {
+        let m =
+            DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0], &[100.0, 100.0, 100.0]]);
+        let s = m.softmax_rows();
+        for row in s.rows_iter() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+        // Uniform logits give uniform probabilities.
+        for &v in s.row(2) {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let m = DenseMatrix::from_rows(&[&[1e8, 1e8 + 1.0]]);
+        let s = m.softmax_rows();
+        assert!(s.all_finite());
+        assert!((s.row(0).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.row_sums(), vec![3.0, 7.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 6.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert!((m.mean() - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn trace_and_dot() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.trace(), 5.0);
+        assert_eq!(m.dot(&m), 1.0 + 4.0 + 9.0 + 16.0);
+    }
+
+    #[test]
+    fn argmax_rows_breaks_ties_low() {
+        let m = DenseMatrix::from_rows(&[&[0.5, 0.5, 0.1], &[0.0, 1.0, 0.2]]);
+        assert_eq!(m.argmax_rows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn select_rows_copies_expected_rows() {
+        let m = DenseMatrix::from_fn(5, 2, |r, c| (r * 2 + c) as f64);
+        let s = m.select_rows(&[4, 0]);
+        assert_eq!(s, DenseMatrix::from_rows(&[&[8.0, 9.0], &[0.0, 1.0]]));
+    }
+
+    #[test]
+    fn hstack_concatenates() {
+        let a = DenseMatrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = DenseMatrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let h = a.hstack(&b);
+        assert_eq!(
+            h,
+            DenseMatrix::from_rows(&[&[1.0, 3.0, 4.0], &[2.0, 5.0, 6.0]])
+        );
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let m = DenseMatrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        let n = m.l2_normalize_rows();
+        assert!((n.get(0, 0) - 0.6).abs() < 1e-12);
+        assert!((n.get(0, 1) - 0.8).abs() < 1e-12);
+        // Zero rows are preserved, not NaN.
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = DenseMatrix::filled(2, 2, 1.0);
+        let b = DenseMatrix::filled(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a, DenseMatrix::filled(2, 2, 2.0));
+        assert_eq!(a.scale(2.0), DenseMatrix::filled(2, 2, 4.0));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

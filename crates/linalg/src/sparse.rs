@@ -1,0 +1,670 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Adjacency matrices, normalized propagation operators and high-order
+//! proximity matrices are all stored in CSR form. Column indices inside every
+//! row are kept **sorted and deduplicated** — every constructor enforces this
+//! invariant and the property tests in this module defend it.
+
+use crate::dense::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A CSR sparse matrix of `f64`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointers, length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    indices: Vec<u32>,
+    /// Values aligned with `indices`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// An empty (all-zero) matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n`×`n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds from `(row, col, value)` triplets. Duplicate coordinates are
+    /// summed; explicit zeros (including sums cancelling to zero) are dropped.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut by_row: Vec<Vec<(u32, f64)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of bounds {rows}x{cols}"
+            );
+            by_row[r].push((c as u32, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        for row in &mut by_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = row[i].1;
+                let mut j = i + 1;
+                while j < row.len() && row[j].0 == c {
+                    v += row[j].1;
+                    j += 1;
+                }
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Builds directly from raw CSR parts, validating the invariants.
+    ///
+    /// # Panics
+    /// Panics when `indptr` is not monotone, lengths disagree, or indices
+    /// within a row are unsorted / duplicated / out of range.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length must be rows+1");
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr end must equal nnz"
+        );
+        for r in 0..rows {
+            assert!(indptr[r] <= indptr[r + 1], "indptr must be monotone");
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {r}: indices must be strictly increasing");
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < cols, "row {r}: column index out of range");
+            }
+        }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Raw row pointers.
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Raw column indices.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Raw values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable values (structure stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// `(column, value)` pairs of row `r`.
+    #[inline]
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.indptr[r]..self.indptr[r + 1];
+        self.indices[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Value at `(r, c)` (binary-searching the row); zero if absent.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let range = self.indptr[r]..self.indptr[r + 1];
+        match self.indices[range.clone()].binary_search(&(c as u32)) {
+            Ok(pos) => self.values[range.start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over all `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row_entries(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.set(r, c, v);
+        }
+        out
+    }
+
+    /// Transposes the matrix (O(nnz) counting sort).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                let pos = next[c];
+                indices[pos] = r as u32;
+                values[pos] = v;
+                next[c] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Sparse × dense vector product.
+    pub fn spmv(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "spmv: dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row_entries(r).map(|(c, val)| val * v[c]).sum())
+            .collect()
+    }
+
+    /// Sparse × dense matrix product `self * d`.
+    pub fn spmm_dense(&self, d: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, d.rows(), "spmm_dense: inner dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, d.cols());
+        for r in 0..self.rows {
+            let out_row = out.row_mut(r);
+            for (c, v) in self.row_entries(r) {
+                let d_row = d.row(c);
+                for (o, &dv) in out_row.iter_mut().zip(d_row) {
+                    *o += v * dv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse × sparse matrix product (classic Gustavson row-merge).
+    pub fn spmm(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.cols, other.rows, "spmm: inner dimension mismatch");
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        indptr.push(0);
+        // Dense accumulator with an O(1) "touched" marker array.
+        let mut acc = vec![0.0f64; other.cols];
+        let mut mark = vec![false; other.cols];
+        let mut touched: Vec<u32> = Vec::new();
+        for r in 0..self.rows {
+            touched.clear();
+            for (k, a) in self.row_entries(r) {
+                for (c, b) in other.row_entries(k) {
+                    if !mark[c] {
+                        mark[c] = true;
+                        touched.push(c as u32);
+                    }
+                    acc[c] += a * b;
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                let v = acc[c as usize];
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+                acc[c as usize] = 0.0;
+                mark[c as usize] = false;
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Elementwise sum `self + alpha * other` on matching shapes.
+    pub fn add_scaled(&self, other: &CsrMatrix, alpha: f64) -> CsrMatrix {
+        assert_eq!(self.shape(), other.shape(), "add_scaled: shape mismatch");
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        indptr.push(0);
+        for r in 0..self.rows {
+            let mut a = self.indptr[r];
+            let a_end = self.indptr[r + 1];
+            let mut b = other.indptr[r];
+            let b_end = other.indptr[r + 1];
+            while a < a_end || b < b_end {
+                let (c, v) = if b >= b_end || (a < a_end && self.indices[a] < other.indices[b]) {
+                    let out = (self.indices[a], self.values[a]);
+                    a += 1;
+                    out
+                } else if a >= a_end || other.indices[b] < self.indices[a] {
+                    let out = (other.indices[b], alpha * other.values[b]);
+                    b += 1;
+                    out
+                } else {
+                    let out = (self.indices[a], self.values[a] + alpha * other.values[b]);
+                    a += 1;
+                    b += 1;
+                    out
+                };
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Scales every value by `alpha` in place.
+    pub fn scale_inplace(&mut self, alpha: f64) {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+    }
+
+    /// Row sums (the "degrees" of a weighted adjacency matrix).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.row_entries(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Sum of all stored values.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Row-normalizes: every nonempty row is divided by its sum so it sums
+    /// to 1. This is the `f(·)` of Definition 3 in the paper.
+    pub fn row_normalize(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let range = out.indptr[r]..out.indptr[r + 1];
+            let sum: f64 = out.values[range.clone()].iter().sum();
+            if sum != 0.0 {
+                for v in &mut out.values[range] {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Symmetric normalization `D^-1/2 * self * D^-1/2` where `D` is the
+    /// diagonal of row sums. Rows with zero sum are left zeroed.
+    pub fn sym_normalize(&self) -> CsrMatrix {
+        let deg = self.row_sums();
+        let inv_sqrt: Vec<f64> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let range = out.indptr[r]..out.indptr[r + 1];
+            let dr = inv_sqrt[r];
+            for (pos, idx) in range.clone().zip(out.indices[range.clone()].iter()) {
+                out.values[pos] *= dr * inv_sqrt[*idx as usize];
+            }
+        }
+        out
+    }
+
+    /// Keeps the `k` largest-magnitude entries of every row (used to bound
+    /// densification of high-order proximity matrices).
+    pub fn prune_top_k_per_row(&self, k: usize) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        indptr.push(0);
+        let mut row_buf: Vec<(u32, f64)> = Vec::new();
+        for r in 0..self.rows {
+            row_buf.clear();
+            row_buf.extend(self.row_entries(r).map(|(c, v)| (c as u32, v)));
+            if row_buf.len() > k {
+                row_buf.sort_unstable_by(|a, b| {
+                    b.1.abs()
+                        .partial_cmp(&a.1.abs())
+                        .unwrap()
+                        .then(a.0.cmp(&b.0))
+                });
+                row_buf.truncate(k);
+                row_buf.sort_unstable_by_key(|&(c, _)| c);
+            }
+            for &(c, v) in row_buf.iter() {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Drops entries with `|value| < eps`.
+    pub fn prune_eps(&self, eps: f64) -> CsrMatrix {
+        let triplets: Vec<(usize, usize, f64)> =
+            self.iter().filter(|&(_, _, v)| v.abs() >= eps).collect();
+        CsrMatrix::from_triplets(self.rows, self.cols, &triplets)
+    }
+
+    /// True if `self` equals its transpose (exact value comparison).
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        self == &t
+    }
+
+    /// Adds the identity (self-loops): `self + I`. Existing diagonal entries
+    /// are incremented.
+    pub fn add_identity(&self) -> CsrMatrix {
+        assert_eq!(self.rows, self.cols, "add_identity: matrix must be square");
+        self.add_scaled(&CsrMatrix::identity(self.rows), 1.0)
+    }
+
+    /// Density = nnz / (rows*cols).
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 3]
+        // [4 5 0]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn triplets_dedup_and_sum() {
+        let m =
+            CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.0), (1, 0, -1.0), (1, 0, 1.0)]);
+        assert_eq!(m.get(0, 1), 3.0);
+        // Entries cancelling to zero are dropped entirely.
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn get_and_iter_roundtrip() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 1), 5.0);
+        let trips: Vec<_> = m.iter().collect();
+        let back = CsrMatrix::from_triplets(3, 3, &trips);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn to_dense_matches() {
+        let d = sample().to_dense();
+        assert_eq!(
+            d,
+            DenseMatrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 3.0], &[4.0, 5.0, 0.0]])
+        );
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.to_dense(), m.to_dense().transpose());
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(m.spmv(&v), m.to_dense().matvec(&v));
+    }
+
+    #[test]
+    fn spmm_dense_matches_dense_matmul() {
+        let m = sample();
+        let d = DenseMatrix::from_fn(3, 4, |r, c| (r + c) as f64 * 0.5);
+        let fast = m.spmm_dense(&d);
+        let slow = m.to_dense().matmul(&d);
+        assert!(fast.sub(&slow).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let a = sample();
+        let b = sample().transpose();
+        let fast = a.spmm(&b).to_dense();
+        let slow = a.to_dense().matmul(&b.to_dense());
+        assert!(fast.sub(&slow).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let a = sample();
+        let i = CsrMatrix::identity(3);
+        assert_eq!(i.spmm(&a), a);
+        assert_eq!(a.spmm(&i), a);
+    }
+
+    #[test]
+    fn add_scaled_matches_dense() {
+        let a = sample();
+        let b = sample().transpose();
+        let fast = a.add_scaled(&b, 2.0).to_dense();
+        let slow = a.to_dense().add(&b.to_dense().scale(2.0));
+        assert!(fast.sub(&slow).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_drops_cancellations() {
+        let a = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0)]);
+        let b = CsrMatrix::from_triplets(1, 2, &[(0, 0, -0.5)]);
+        let sum = a.add_scaled(&b, 2.0);
+        assert_eq!(sum.nnz(), 0);
+    }
+
+    #[test]
+    fn row_normalize_rows_sum_to_one() {
+        let m = sample().row_normalize();
+        for r in 0..3 {
+            let s: f64 = m.row_entries(r).map(|(_, v)| v).sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn sym_normalize_karate_style() {
+        // Path graph 0-1-2 with self loops: degrees 2,3,2 after A+I.
+        let a =
+            CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
+        let ai = a.add_identity();
+        let n = ai.sym_normalize();
+        // Entry (0,0) = 1 / (sqrt(2)*sqrt(2)) = 0.5
+        assert!((n.get(0, 0) - 0.5).abs() < 1e-12);
+        // Entry (0,1) = 1 / (sqrt(2)*sqrt(3))
+        assert!((n.get(0, 1) - 1.0 / (2.0f64.sqrt() * 3.0f64.sqrt())).abs() < 1e-12);
+        // Symmetric input stays symmetric.
+        assert!(n.is_symmetric());
+    }
+
+    #[test]
+    fn prune_top_k_keeps_largest() {
+        let m =
+            CsrMatrix::from_triplets(1, 5, &[(0, 0, 0.1), (0, 1, 0.5), (0, 2, -0.9), (0, 3, 0.3)]);
+        let p = m.prune_top_k_per_row(2);
+        assert_eq!(p.nnz(), 2);
+        assert_eq!(p.get(0, 2), -0.9);
+        assert_eq!(p.get(0, 1), 0.5);
+        assert_eq!(p.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn prune_eps_drops_small() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1e-9), (1, 1, 1.0)]);
+        let p = m.prune_eps(1e-6);
+        assert_eq!(p.nnz(), 1);
+        assert_eq!(p.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn add_identity_increments_diagonal() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 1.0)]);
+        let mi = m.add_identity();
+        assert_eq!(mi.get(0, 0), 3.0);
+        assert_eq!(mi.get(1, 1), 1.0);
+        assert_eq!(mi.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn is_symmetric_detects_asymmetry() {
+        assert!(!sample().is_symmetric());
+        let s = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 2.0)]);
+        assert!(s.is_symmetric());
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let ok = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert_eq!(ok.get(0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_raw_rejects_unsorted() {
+        let _ = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn density_and_row_nnz() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert!((m.density() - 5.0 / 9.0).abs() < 1e-12);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 1);
+    }
+}

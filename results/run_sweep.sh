@@ -1,0 +1,14 @@
+#!/bin/sh
+set -x
+B=./target/release
+$B/exp_fig2   --scale 0.1 --rounds 1 --datasets cora                   > results/fig2.log   2>&1
+$B/exp_fig7   --scale 0.1 --rounds 1                                   > results/fig7.log   2>&1
+$B/exp_fig5   --scale 0.1 --rounds 1 --datasets cora,polblogs          > results/fig5.log   2>&1
+$B/exp_fig6   --scale 0.1 --rounds 1 --datasets cora,citeseer          > results/fig6.log   2>&1
+$B/exp_table4 --scale 0.1 --rounds 2 --datasets cora                   > results/table4.log 2>&1
+$B/exp_fig9   --scale 0.1 --rounds 1 --datasets cora                   > results/fig9.log   2>&1
+$B/exp_fig3   --scale 0.1 --rounds 1 --datasets cora                   > results/fig3.log   2>&1
+$B/exp_fig4   --scale 0.1 --rounds 1 --datasets cora                   > results/fig4.log   2>&1
+$B/exp_fig8   --scale 0.1 --rounds 1 --datasets cora                   > results/fig8.log   2>&1
+$B/exp_table5 --scale 0.1 --rounds 1                                   > results/table5.log 2>&1
+echo SWEEP_DONE

@@ -1,0 +1,36 @@
+//! # aneci — Robust Attributed Network Embedding Preserving Community Information
+//!
+//! A complete, from-scratch Rust reproduction of the ICDE 2022 paper
+//! *"Robust Attributed Network Embedding Preserving Community Information"*
+//! (AnECI). This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`linalg`] | dense / CSR sparse matrices, multi-threaded kernels, seeded RNG |
+//! | [`autograd`] | tape-based reverse-mode autodiff + optimizers |
+//! | [`graph`] | attributed graphs, high-order proximity, SBM benchmark generators |
+//! | [`core`] | the AnECI model, AnECI+ denoising, anomaly & defense scores |
+//! | [`baselines`] | DeepWalk, LINE, GAE/VGAE, DGI, GCN, Dominant, spectral, Louvain |
+//! | [`attacks`] | random / FGA / NETTACK-style attacks, outlier seeding |
+//! | [`eval`] | metrics, logistic regression, k-means++, isolation forest, t-SNE |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use aneci::core::{AneciConfig, train_aneci};
+//! use aneci::graph::karate_club;
+//!
+//! let graph = karate_club();
+//! let config = AneciConfig::for_community_detection(2, 0);
+//! let (model, _report) = train_aneci(&graph, &config);
+//! let communities = model.communities();
+//! assert_eq!(communities.len(), 34);
+//! ```
+
+pub use aneci_attacks as attacks;
+pub use aneci_autograd as autograd;
+pub use aneci_baselines as baselines;
+pub use aneci_core as core;
+pub use aneci_eval as eval;
+pub use aneci_graph as graph;
+pub use aneci_linalg as linalg;
