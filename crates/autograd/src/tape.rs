@@ -18,7 +18,7 @@
 //! * [`Tape::pair_bce`] — the negative-sampled estimator of the same loss for
 //!   large graphs.
 
-use aneci_linalg::{par, CsrMatrix, DenseMatrix};
+use aneci_linalg::{par, pool, CsrMatrix, DenseMatrix};
 use std::sync::Arc;
 
 /// Handle to a node on a [`Tape`].
@@ -398,17 +398,30 @@ impl Tape {
             "dense_recon_bce: target must be square"
         );
         let n = pv.rows();
-        let mut loss = 0.0;
-        for i in 0..n {
-            let pi = pv.row(i);
-            for j in 0..n {
-                let pj = pv.row(j);
-                let s: f64 = pi.iter().zip(pj).map(|(&a, &b)| a * b).sum();
-                let sig = sigmoid(s).clamp(SIG_EPS, 1.0 - SIG_EPS);
-                let t = target.get(i, j);
-                loss -= pos_weight * t * sig.ln() + (1.0 - t) * (1.0 - sig).ln();
+        let d = pv.cols();
+        // Per-row partial losses, pooled over i and summed in chunk order
+        // (deterministic across thread counts).
+        let row_loss = |lo: usize, hi: usize| -> f64 {
+            let mut loss = 0.0;
+            for i in lo..hi {
+                let pi = pv.row(i);
+                for j in 0..n {
+                    let pj = pv.row(j);
+                    let s: f64 = pi.iter().zip(pj).map(|(&a, &b)| a * b).sum();
+                    let sig = sigmoid(s).clamp(SIG_EPS, 1.0 - SIG_EPS);
+                    let t = target.get(i, j);
+                    loss -= pos_weight * t * sig.ln() + (1.0 - t) * (1.0 - sig).ln();
+                }
             }
-        }
+            loss
+        };
+        let loss = if pool::should_parallelize(n * n * d) {
+            pool::parallel_map_chunks(n, pool::row_grain(n, 1), row_loss)
+                .iter()
+                .sum()
+        } else {
+            row_loss(0, n)
+        };
         let value = DenseMatrix::from_vec(1, 1, vec![loss]);
         let rg = self.requires(p);
         self.push(
@@ -427,17 +440,28 @@ impl Tape {
     /// node.
     pub fn pair_bce(&mut self, p: Var, pairs: &Arc<[BcePair]>) -> Var {
         let pv = self.value(p);
-        let mut loss = 0.0;
-        for &(i, j, t) in pairs.iter() {
-            let s: f64 = pv
-                .row(i as usize)
+        // Pooled over the pair list, partial losses summed in chunk order.
+        let pair_loss = |lo: usize, hi: usize| -> f64 {
+            let mut loss = 0.0;
+            for &(i, j, t) in &pairs[lo..hi] {
+                let s: f64 = pv
+                    .row(i as usize)
+                    .iter()
+                    .zip(pv.row(j as usize))
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                let sig = sigmoid(s).clamp(SIG_EPS, 1.0 - SIG_EPS);
+                loss -= t * sig.ln() + (1.0 - t) * (1.0 - sig).ln();
+            }
+            loss
+        };
+        let loss = if pool::should_parallelize(pairs.len() * pv.cols()) {
+            pool::parallel_map_chunks(pairs.len(), pool::row_grain(pairs.len(), 64), pair_loss)
                 .iter()
-                .zip(pv.row(j as usize))
-                .map(|(&a, &b)| a * b)
-                .sum();
-            let sig = sigmoid(s).clamp(SIG_EPS, 1.0 - SIG_EPS);
-            loss -= t * sig.ln() + (1.0 - t) * (1.0 - sig).ln();
-        }
+                .sum()
+        } else {
+            pair_loss(0, pairs.len())
+        };
         let value = DenseMatrix::from_vec(1, 1, vec![loss]);
         let rg = self.requires(p);
         self.push(
@@ -499,7 +523,7 @@ impl Tape {
                 }
                 if self.requires(b) {
                     // dB = Aᵀ * g
-                    let db = par::matmul_tn(&self.nodes[a.0].value.clone(), g);
+                    let db = par::matmul_tn(&self.nodes[a.0].value, g);
                     self.accumulate(b, db);
                 }
             }
@@ -616,15 +640,15 @@ impl Tape {
                 if self.requires(a) {
                     let y = &self.nodes[idx].value;
                     let mut da = DenseMatrix::zeros(y.rows(), y.cols());
-                    for r in 0..y.rows() {
+                    // Rows are independent: pooled when large enough.
+                    da.par_rows_mut(2 * y.cols(), |r, dr| {
                         let yr = y.row(r);
                         let gr = g.row(r);
                         let inner: f64 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
-                        let dr = da.row_mut(r);
                         for ((o, &yv), &gv) in dr.iter_mut().zip(yr).zip(gr) {
                             *o = yv * (gv - inner);
                         }
-                    }
+                    });
                     self.accumulate(a, da);
                 }
             }
@@ -713,16 +737,18 @@ impl Tape {
                     // dL/dP = (G + Gᵀ) P, computed without storing G by two
                     // accumulation passes over rows.
                     let mut grad_s = DenseMatrix::zeros(n, n);
-                    for i in 0..n {
+                    // Each output row needs a full pass over P: pooled over
+                    // i when n²·d clears the threshold.
+                    grad_s.par_rows_mut(n * pv.cols(), |i, row| {
                         let pi = pv.row(i);
-                        for j in 0..n {
+                        for (j, o) in row.iter_mut().enumerate() {
                             let pj = pv.row(j);
                             let s: f64 = pi.iter().zip(pj).map(|(&a, &b)| a * b).sum();
                             let sig = sigmoid(s);
                             let t = target.get(i, j);
-                            grad_s.set(i, j, sig * (w * t + 1.0 - t) - w * t);
+                            *o = sig * (w * t + 1.0 - t) - w * t;
                         }
-                    }
+                    });
                     let gsym = grad_s.add(&grad_s.transpose());
                     let mut dp = par::matmul(&gsym, pv);
                     dp.scale_inplace(g.get(0, 0));

@@ -9,7 +9,7 @@
 use aneci_autograd::Tape;
 use aneci_graph::{generate_sbm, HighOrder, ProximityConfig, SbmConfig};
 use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
-use aneci_linalg::{par, DenseMatrix};
+use aneci_linalg::{par, pool, DenseMatrix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -55,6 +55,25 @@ fn bench_spmm(c: &mut Criterion) {
         let x = gaussian_matrix(n, 64, 1.0, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| black_box(par::spmm_dense(&s, &x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_sparse");
+    for &n in &[1000usize, 4000] {
+        let g = bench_graph(n);
+        let a = g.adjacency().add_identity();
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bench, _| {
+            pool::set_par_threshold(usize::MAX);
+            bench.iter(|| black_box(a.spmm(&a)));
+            pool::set_par_threshold(1 << 17);
+        });
+        group.bench_with_input(BenchmarkId::new("pooled", n), &n, |bench, _| {
+            pool::set_par_threshold(1);
+            bench.iter(|| black_box(a.spmm(&a)));
+            pool::set_par_threshold(1 << 17);
         });
     }
     group.finish();
@@ -127,6 +146,7 @@ criterion_group!(
     benches,
     bench_matmul,
     bench_spmm,
+    bench_sparse_spmm,
     bench_high_order_proximity,
     bench_recon_loss
 );

@@ -1,0 +1,198 @@
+//! Kernel smoke benchmark: times each hot kernel serially and through the
+//! persistent pool, then writes `BENCH_kernels.json` at the repo root so the
+//! perf trajectory is machine-readable from PR to PR.
+//!
+//! Run with `cargo run --release -p aneci-bench --bin bench_report`.
+//! `ANECI_NUM_THREADS` caps the pooled measurements as usual.
+
+use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
+use aneci_linalg::{par, pool, CsrMatrix};
+use rand::Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Row {
+    kernel: &'static str,
+    shape: String,
+    serial_ns: u64,
+    pooled_ns: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.pooled_ns.max(1) as f64
+    }
+}
+
+/// Best-of-`reps` wall time in nanoseconds.
+fn time_best(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Times `f` with the pool threshold forced sky-high (serial path) and then
+/// forced to 1 (pooled path).
+fn time_both(reps: usize, mut f: impl FnMut()) -> (u64, u64) {
+    pool::set_par_threshold(usize::MAX);
+    let serial = time_best(reps, &mut f);
+    pool::set_par_threshold(1);
+    let pooled = time_best(reps, &mut f);
+    (serial, pooled)
+}
+
+/// Random sparse square matrix with ~`deg` entries per row.
+fn random_csr(n: usize, deg: usize, seed: u64) -> CsrMatrix {
+    let mut rng = seeded_rng(seed);
+    let mut trips = Vec::with_capacity(n * deg);
+    for r in 0..n {
+        for _ in 0..deg {
+            let c = rng.gen_range(0..n);
+            trips.push((r, c, rng.gen_range(0.1..1.0)));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &trips)
+}
+
+fn main() {
+    pool::force_pool();
+    let threads = pool::num_threads();
+    let mut rng = seeded_rng(7);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Dense matmul: serial reference is the pre-pool naive i-k-j kernel.
+    for &n in &[256usize, 512] {
+        let a = gaussian_matrix(n, n, 1.0, &mut rng);
+        let b = gaussian_matrix(n, n, 1.0, &mut rng);
+        let serial = time_best(3, || {
+            black_box(a.matmul(&b));
+        });
+        pool::set_par_threshold(1);
+        let pooled = time_best(3, || {
+            black_box(par::matmul(&a, &b));
+        });
+        rows.push(Row {
+            kernel: "matmul",
+            shape: format!("{n}x{n}x{n}"),
+            serial_ns: serial,
+            pooled_ns: pooled,
+        });
+    }
+
+    // matmul_tn at the decoder's tall-skinny shape.
+    {
+        let a = gaussian_matrix(4000, 128, 1.0, &mut rng);
+        let b = gaussian_matrix(4000, 128, 1.0, &mut rng);
+        let serial = time_best(3, || {
+            black_box(a.matmul_tn(&b));
+        });
+        pool::set_par_threshold(1);
+        let pooled = time_best(3, || {
+            black_box(par::matmul_tn(&a, &b));
+        });
+        rows.push(Row {
+            kernel: "matmul_tn",
+            shape: "128x4000x128".into(),
+            serial_ns: serial,
+            pooled_ns: pooled,
+        });
+    }
+
+    // Sparse × dense (GCN propagation shape).
+    {
+        let s = random_csr(8192, 16, 11);
+        let d = gaussian_matrix(8192, 128, 1.0, &mut rng);
+        let serial = time_best(3, || {
+            black_box(s.spmm_dense(&d));
+        });
+        pool::set_par_threshold(1);
+        let pooled = time_best(3, || {
+            black_box(par::spmm_dense(&s, &d));
+        });
+        rows.push(Row {
+            kernel: "spmm_dense",
+            shape: format!("8192x8192(nnz={})x128", s.nnz()),
+            serial_ns: serial,
+            pooled_ns: pooled,
+        });
+    }
+
+    // Sparse × sparse (proximity power shape) — same code path both ways,
+    // toggled serial/pooled via the threshold.
+    {
+        let s = random_csr(4096, 12, 13);
+        let (serial, pooled) = time_both(3, || {
+            black_box(s.spmm(&s));
+        });
+        rows.push(Row {
+            kernel: "spmm",
+            shape: format!("4096^2(nnz={})", s.nnz()),
+            serial_ns: serial,
+            pooled_ns: pooled,
+        });
+    }
+
+    // CSR transpose and top-k pruning.
+    {
+        let s = random_csr(8192, 16, 17);
+        let (serial, pooled) = time_both(5, || {
+            black_box(s.transpose());
+        });
+        rows.push(Row {
+            kernel: "sparse_transpose",
+            shape: format!("8192x8192(nnz={})", s.nnz()),
+            serial_ns: serial,
+            pooled_ns: pooled,
+        });
+        let (serial, pooled) = time_both(5, || {
+            black_box(s.prune_top_k_per_row(8));
+        });
+        rows.push(Row {
+            kernel: "prune_top_k",
+            shape: format!("8192x8192(nnz={}) k=8", s.nnz()),
+            serial_ns: serial,
+            pooled_ns: pooled,
+        });
+    }
+
+    // Leave the runtime in its default state for anything run afterwards.
+    pool::set_par_threshold(1);
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"available_cores\": {cores},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"serial_ns\": {}, \"pooled_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            row.kernel,
+            row.shape,
+            row.serial_ns,
+            row.pooled_ns,
+            row.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("failed to write BENCH_kernels.json");
+
+    println!("wrote {path} ({threads} threads)");
+    for row in &rows {
+        println!(
+            "  {:<18} {:<28} serial {:>12} ns  pooled {:>12} ns  {:.2}x",
+            row.kernel,
+            row.shape,
+            row.serial_ns,
+            row.pooled_ns,
+            row.speedup()
+        );
+    }
+}

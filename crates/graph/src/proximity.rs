@@ -113,24 +113,33 @@ impl HighOrder {
             adjacency.clone()
         };
         let n = base.rows();
+        // Double-buffered power/accumulator loop: `spmm`, `prune` and
+        // `add_scaled` all write into preallocated buffers that are swapped
+        // back in, so each extra order reuses the previous order's
+        // allocations instead of re-materializing multi-million-entry CSR
+        // vectors (order-3+ on 20k-node graphs used to thrash the
+        // allocator).
         let mut power = base.clone();
         let mut acc = CsrMatrix::zeros(n, n);
+        let mut scratch = CsrMatrix::zeros(n, n);
         for (l, &w) in config.weights.iter().enumerate() {
             if l > 0 {
-                power = power.spmm(&base);
+                power.spmm_into(&base, &mut scratch);
+                std::mem::swap(&mut power, &mut scratch);
                 if let Some(k) = config.top_k {
-                    power = power.prune_top_k_per_row(k);
+                    power.prune_top_k_into(k, &mut scratch);
+                    std::mem::swap(&mut power, &mut scratch);
                 }
             }
             if w != 0.0 {
-                acc = acc.add_scaled(&power, w);
+                acc.add_scaled_into(&power, w, &mut scratch);
+                std::mem::swap(&mut acc, &mut scratch);
             }
         }
-        let a_tilde = if config.row_normalize {
-            acc.row_normalize()
-        } else {
-            acc
-        };
+        let mut a_tilde = acc;
+        if config.row_normalize {
+            a_tilde.row_normalize_inplace();
+        }
         let k_tilde = a_tilde.row_sums();
         let m_tilde = k_tilde.iter().sum();
         Self {

@@ -6,8 +6,24 @@
 //! handed out as slices, which the multi-threaded kernels in [`crate::par`]
 //! rely on.
 
+use crate::pool::{self, SendPtr};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Elementwise kernels below this many entries always run serially (they are
+/// memory-bound, so the pool threshold is consulted on top of this floor).
+const ELEMENTWISE_MIN: usize = 1 << 12;
+
+/// Flat-array grain: at most 64 chunks, at least 4096 entries per chunk.
+#[inline]
+fn flat_grain(len: usize) -> usize {
+    len.div_ceil(64).max(1 << 12)
+}
+
+#[inline]
+fn par_elementwise(len: usize) -> bool {
+    len >= ELEMENTWISE_MIN && pool::should_parallelize(len)
+}
 
 /// A dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
@@ -207,22 +223,39 @@ impl DenseMatrix {
     /// Returns the transpose as a new matrix.
     pub fn transpose(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.cols, self.rows);
-        // Block the transpose for cache friendliness on large matrices.
-        const B: usize = 32;
-        for rb in (0..self.rows).step_by(B) {
-            for cb in (0..self.cols).step_by(B) {
-                for r in rb..(rb + B).min(self.rows) {
-                    for c in cb..(cb + B).min(self.cols) {
-                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
-                    }
-                }
-            }
+        if par_elementwise(self.data.len()) {
+            // Split the *input rows* across chunks: chunk `lo..hi` writes
+            // the output columns `lo..hi`, a disjoint entry set per chunk.
+            let ptr = SendPtr(out.data.as_mut_ptr());
+            let (rows, cols) = (self.rows, self.cols);
+            let grain = pool::row_grain(rows, 32);
+            pool::parallel_for(rows, grain, move |lo, hi| {
+                // SAFETY: entries `(c, r)` for `r ∈ lo..hi` are disjoint
+                // across chunks and `out` outlives the call.
+                let out_data = ptr.get();
+                transpose_block(&self.data, out_data, rows, cols, lo, hi);
+            });
+        } else {
+            transpose_block(&self.data, out.data.as_mut_ptr(), self.rows, self.cols, 0, self.rows);
         }
         out
     }
 
-    /// Elementwise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> DenseMatrix {
+    /// Elementwise map into a new matrix (pooled above the elementwise
+    /// threshold; the closure must therefore be `Sync`).
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> DenseMatrix {
+        if par_elementwise(self.data.len()) {
+            let mut out = DenseMatrix::zeros(self.rows, self.cols);
+            let ptr = SendPtr(out.data.as_mut_ptr());
+            pool::parallel_for(self.data.len(), flat_grain(self.data.len()), |lo, hi| {
+                // SAFETY: chunks cover disjoint ranges of `out.data`.
+                let dst = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo), hi - lo) };
+                for (o, &v) in dst.iter_mut().zip(&self.data[lo..hi]) {
+                    *o = f(v);
+                }
+            });
+            return out;
+        }
         DenseMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -231,7 +264,18 @@ impl DenseMatrix {
     }
 
     /// Elementwise map in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64 + Sync) {
+        if par_elementwise(self.data.len()) {
+            let ptr = SendPtr(self.data.as_mut_ptr());
+            pool::parallel_for(self.data.len(), flat_grain(self.data.len()), |lo, hi| {
+                // SAFETY: chunks cover disjoint ranges of `self.data`.
+                let dst = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo), hi - lo) };
+                for v in dst {
+                    *v = f(*v);
+                }
+            });
+            return;
+        }
         for v in &mut self.data {
             *v = f(*v);
         }
@@ -252,9 +296,23 @@ impl DenseMatrix {
         self.zip(other, |a, b| a * b)
     }
 
-    /// Generic elementwise zip of two same-shape matrices.
-    pub fn zip(&self, other: &DenseMatrix, f: impl Fn(f64, f64) -> f64) -> DenseMatrix {
+    /// Generic elementwise zip of two same-shape matrices (pooled above the
+    /// elementwise threshold; the closure must therefore be `Sync`).
+    pub fn zip(&self, other: &DenseMatrix, f: impl Fn(f64, f64) -> f64 + Sync) -> DenseMatrix {
         assert_eq!(self.shape(), other.shape(), "zip: shape mismatch");
+        if par_elementwise(self.data.len()) {
+            let mut out = DenseMatrix::zeros(self.rows, self.cols);
+            let ptr = SendPtr(out.data.as_mut_ptr());
+            pool::parallel_for(self.data.len(), flat_grain(self.data.len()), |lo, hi| {
+                // SAFETY: chunks cover disjoint ranges of `out.data`.
+                let dst = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo), hi - lo) };
+                for ((o, &a), &b) in dst.iter_mut().zip(&self.data[lo..hi]).zip(&other.data[lo..hi])
+                {
+                    *o = f(a, b);
+                }
+            });
+            return out;
+        }
         DenseMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -267,20 +325,33 @@ impl DenseMatrix {
         }
     }
 
+    /// Generic elementwise zip in place: `self[i] = f(self[i], other[i])`.
+    pub fn zip_inplace(&mut self, other: &DenseMatrix, f: impl Fn(f64, f64) -> f64 + Sync) {
+        assert_eq!(self.shape(), other.shape(), "zip_inplace: shape mismatch");
+        if par_elementwise(self.data.len()) {
+            let ptr = SendPtr(self.data.as_mut_ptr());
+            pool::parallel_for(self.data.len(), flat_grain(self.data.len()), |lo, hi| {
+                // SAFETY: chunks cover disjoint ranges of `self.data`.
+                let dst = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo), hi - lo) };
+                for (a, &b) in dst.iter_mut().zip(&other.data[lo..hi]) {
+                    *a = f(*a, b);
+                }
+            });
+            return;
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
+        }
+    }
+
     /// `self += other`, elementwise.
     pub fn add_assign(&mut self, other: &DenseMatrix) {
-        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        self.zip_inplace(other, |a, b| a + b);
     }
 
     /// `self += alpha * other`, elementwise (axpy).
     pub fn axpy(&mut self, alpha: f64, other: &DenseMatrix) {
-        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        self.zip_inplace(other, |a, b| a + alpha * b);
     }
 
     /// `alpha * self` into a new matrix.
@@ -290,13 +361,24 @@ impl DenseMatrix {
 
     /// `self *= alpha` in place.
     pub fn scale_inplace(&mut self, alpha: f64) {
-        for v in &mut self.data {
-            *v *= alpha;
-        }
+        self.map_inplace(|v| v * alpha);
     }
 
     /// Sum of all entries.
+    ///
+    /// Above the elementwise threshold this is a chunked reduction: partial
+    /// sums are computed per chunk and combined in chunk order, so the result
+    /// is deterministic across thread counts but may round differently from a
+    /// strict left-to-right serial sum (within ~1e-12 relative).
     pub fn sum(&self) -> f64 {
+        if par_elementwise(self.data.len()) {
+            let partials = pool::parallel_map_chunks(
+                self.data.len(),
+                flat_grain(self.data.len()),
+                |lo, hi| self.data[lo..hi].iter().sum::<f64>(),
+            );
+            return partials.iter().sum();
+        }
         self.data.iter().sum()
     }
 
@@ -319,9 +401,24 @@ impl DenseMatrix {
         self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
     }
 
-    /// Frobenius inner product `<self, other>`.
+    /// Frobenius inner product `<self, other>` (chunk-ordered reduction
+    /// above the elementwise threshold, see [`DenseMatrix::sum`]).
     pub fn dot(&self, other: &DenseMatrix) -> f64 {
         assert_eq!(self.shape(), other.shape(), "dot: shape mismatch");
+        if par_elementwise(self.data.len()) {
+            let partials = pool::parallel_map_chunks(
+                self.data.len(),
+                flat_grain(self.data.len()),
+                |lo, hi| {
+                    self.data[lo..hi]
+                        .iter()
+                        .zip(&other.data[lo..hi])
+                        .map(|(&a, &b)| a * b)
+                        .sum::<f64>()
+                },
+            );
+            return partials.iter().sum();
+        }
         self.data
             .iter()
             .zip(&other.data)
@@ -411,21 +508,48 @@ impl DenseMatrix {
         out
     }
 
-    /// In-place row-wise softmax.
+    /// In-place row-wise softmax (rows are independent, so the pooled path
+    /// is bit-identical to serial).
     pub fn softmax_rows_inplace(&mut self) {
-        let cols = self.cols;
-        for row in self.data.chunks_exact_mut(cols.max(1)) {
-            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            if sum > 0.0 {
-                for v in row.iter_mut() {
-                    *v /= sum;
+        let cols = self.cols.max(1);
+        // `exp` makes softmax compute-heavier than plain elementwise ops, so
+        // weight the work estimate accordingly.
+        if self.cols > 0 && par_elementwise(self.data.len() * 8) {
+            self.par_rows_mut(8 * self.cols, |_r, row| softmax_row(row));
+            return;
+        }
+        for row in self.data.chunks_exact_mut(cols) {
+            softmax_row(row);
+        }
+    }
+
+    /// Applies `f` to every row in parallel when `rows * work_per_row`
+    /// clears the pool threshold, serially otherwise. Rows are disjoint, so
+    /// the pooled path produces output identical to the serial path.
+    ///
+    /// `work_per_row` is an estimate of flops per row used only for the
+    /// serial/parallel decision.
+    pub fn par_rows_mut(&mut self, work_per_row: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
+        let (rows, cols) = (self.rows, self.cols);
+        if cols == 0 || rows == 0 {
+            return;
+        }
+        if pool::should_parallelize(rows.saturating_mul(work_per_row.max(1))) {
+            let ptr = SendPtr(self.data.as_mut_ptr());
+            let grain = pool::row_grain(rows, 1);
+            pool::parallel_for(rows, grain, |lo, hi| {
+                // SAFETY: row ranges are disjoint across chunks.
+                let dst = unsafe {
+                    std::slice::from_raw_parts_mut(ptr.get().add(lo * cols), (hi - lo) * cols)
+                };
+                for (i, row) in dst.chunks_exact_mut(cols).enumerate() {
+                    f(lo + i, row);
                 }
-            }
+            });
+            return;
+        }
+        for (r, row) in self.data.chunks_exact_mut(cols).enumerate() {
+            f(r, row);
         }
     }
 
@@ -518,9 +642,203 @@ pub(crate) fn matmul_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatri
     debug_assert_eq!(a.cols, b.rows);
     debug_assert_eq!(out.rows, a.rows);
     debug_assert_eq!(out.cols, b.cols);
-    for r in 0..a.rows {
+    matmul_rows_naive(a, b, 0, a.rows, out.data.as_mut_ptr());
+}
+
+/// Stabilized softmax of one row, in place.
+#[inline]
+fn softmax_row(row: &mut [f64]) {
+    let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Transposes input rows `lo..hi` of the `rows`×`cols` row-major `src` into
+/// the corresponding output *columns* of the `cols`×`rows` buffer at `dst`,
+/// one 32×32 cache block at a time so both sides stay cache-resident.
+///
+/// Callers must guarantee exclusive access to output entries `(c, r)` for
+/// `r ∈ lo..hi` — chunks owning disjoint input-row ranges satisfy this.
+fn transpose_block(src: &[f64], dst: *mut f64, rows: usize, cols: usize, lo: usize, hi: usize) {
+    const TB: usize = 32;
+    let mut r0 = lo;
+    while r0 < hi {
+        let r1 = (r0 + TB).min(hi);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c1 = (c0 + TB).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    // SAFETY: `(c, r)` with `r ∈ lo..hi` is owned by this
+                    // call per the contract above, and `dst` has
+                    // `rows * cols` entries.
+                    unsafe {
+                        *dst.add(c * rows + r) = src[r * cols + c];
+                    }
+                }
+            }
+            c0 = c1;
+        }
+        r0 = r1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked matmul microkernel
+// ---------------------------------------------------------------------------
+
+/// Register-tile height (rows of `a` per microkernel invocation). Tuned by
+/// sweep at 512³: 2×12 beats 4×8 — fewer accumulators spill on plain
+/// x86-64 (SSE2) codegen while the wider tile keeps `b` reuse high.
+const MR: usize = 2;
+/// Register-tile width (columns of `b` per microkernel invocation).
+const NR: usize = 12;
+/// K-dimension cache block: `KC` rows of `b` (~`KC * NR * 8` bytes per tile
+/// column panel) stay in L1/L2 while a whole row panel streams past.
+const KC: usize = 128;
+
+/// Computes rows `lo..hi` of `a * b`, accumulating into the full
+/// `a.rows × b.cols` row-major buffer at `out` (rows `lo..hi` must be
+/// zero-initialized or hold a partial sum to accumulate onto).
+///
+/// Uses an `MR`×`NR` register-blocked microkernel with `KC` k-tiling for
+/// shapes that fit it and falls back to the streaming axpy loop otherwise.
+/// For a fixed `(lo, hi)` the result does not depend on how other row
+/// ranges are scheduled, so pooled calls are deterministic across thread
+/// counts.
+///
+/// Callers must guarantee exclusive access to output rows `lo..hi`.
+pub(crate) fn matmul_rows_into(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    lo: usize,
+    hi: usize,
+    out: *mut f64,
+) {
+    debug_assert_eq!(a.cols, b.rows);
+    debug_assert!(hi <= a.rows);
+    let (k_dim, n) = (a.cols, b.cols);
+    // Small shapes: tile bookkeeping costs more than it saves, and thin
+    // matrices can't fill a register tile. Keep the streaming axpy loop.
+    if k_dim < 8 || n < NR || hi - lo < MR {
+        matmul_rows_naive(a, b, lo, hi, out);
+        return;
+    }
+    let mut kk = 0;
+    while kk < k_dim {
+        let kc = KC.min(k_dim - kk);
+        let mut r = lo;
+        while r + MR <= hi {
+            let mut c = 0;
+            while c + NR <= n {
+                // SAFETY: rows `r..r+MR` lie in `lo..hi`, which this call
+                // owns exclusively.
+                unsafe { tile_mr_nr(a, b, r, c, kk, kc, out) };
+                c += NR;
+            }
+            if c < n {
+                for ri in r..r + MR {
+                    axpy_row_range(a, b, ri, kk..kk + kc, c..n, out);
+                }
+            }
+            r += MR;
+        }
+        for ri in r..hi {
+            axpy_row_range(a, b, ri, kk..kk + kc, 0..n, out);
+        }
+        kk += kc;
+    }
+}
+
+/// `MR`×`NR` register tile: accumulates
+/// `out[r..r+MR, c..c+NR] += a[r..r+MR, kk..kk+kc] * b[kk..kk+kc, c..c+NR]`.
+///
+/// # Safety
+/// The caller must own output rows `r..r+MR` exclusively; `r + MR <= a.rows`
+/// and `c + NR <= b.cols` must hold.
+#[inline]
+unsafe fn tile_mr_nr(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    r: usize,
+    c: usize,
+    kk: usize,
+    kc: usize,
+    out: *mut f64,
+) {
+    let n = b.cols;
+    let mut acc = [[0.0_f64; NR]; MR];
+    for p in kk..kk + kc {
+        let mut av = [0.0_f64; MR];
+        for (i, v) in av.iter_mut().enumerate() {
+            *v = *a.data.get_unchecked((r + i) * a.cols + p);
+        }
+        // Zero-skip, MR rows wide: keeps the sparse-input benefit of the
+        // naive kernel's per-element skip at tile granularity. No per-row
+        // skip inside the tile — that branch defeats the compiler's
+        // software pipelining and costs more than it saves.
+        if av == [0.0; MR] {
+            continue;
+        }
+        let b_row = std::slice::from_raw_parts(b.data.as_ptr().add(p * n + c), NR);
+        for (acc_row, &ai) in acc.iter_mut().zip(&av) {
+            for (o, &bv) in acc_row.iter_mut().zip(b_row) {
+                *o += ai * bv;
+            }
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate() {
+        let dst = out.add((r + i) * n + c);
+        for (j, &v) in acc_row.iter().enumerate() {
+            *dst.add(j) += v;
+        }
+    }
+}
+
+/// Scalar edge kernel: accumulates
+/// `out[r, ks] += a[r, ks] * b[ks, cs]` over the k-range `ks` and column
+/// range `cs`. The caller must own output row `r` exclusively.
+fn axpy_row_range(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    r: usize,
+    ks: std::ops::Range<usize>,
+    cs: std::ops::Range<usize>,
+    out: *mut f64,
+) {
+    let n = b.cols;
+    let (c0, c1) = (cs.start, cs.end);
+    // SAFETY: the caller owns row `r`, and `c0..c1` is in bounds.
+    let out_row = unsafe { std::slice::from_raw_parts_mut(out.add(r * n + c0), c1 - c0) };
+    for p in ks {
+        let av = a.data[r * a.cols + p];
+        if av == 0.0 {
+            continue;
+        }
+        let b_row = &b.data[p * n + c0..p * n + c1];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Streaming `i-k-j` axpy kernel over rows `lo..hi` (the pre-pool serial
+/// kernel, kept for small shapes and as the tile fallback). The caller must
+/// own output rows `lo..hi` exclusively.
+fn matmul_rows_naive(a: &DenseMatrix, b: &DenseMatrix, lo: usize, hi: usize, out: *mut f64) {
+    let n = b.cols;
+    for r in lo..hi {
+        // SAFETY: the caller owns rows `lo..hi`.
+        let out_row = unsafe { std::slice::from_raw_parts_mut(out.add(r * n), n) };
         let a_row = a.row(r);
-        let out_row = out.row_mut(r);
         for (k, &av) in a_row.iter().enumerate() {
             if av == 0.0 {
                 continue;
@@ -680,5 +998,37 @@ mod tests {
         let a = DenseMatrix::zeros(2, 3);
         let b = DenseMatrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn blocked_matmul_rows_matches_naive() {
+        // Shapes chosen to hit the tile path, every edge case (row/col/k
+        // remainders), and the small-shape fallback.
+        for &(m, k, n) in &[
+            (1usize, 9usize, 8usize),
+            (4, 8, 8),
+            (5, 17, 13),
+            (12, 135, 33),
+            (7, 256, 8),
+        ] {
+            let a = DenseMatrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 11) as f64 - 5.0);
+            let b = DenseMatrix::from_fn(k, n, |r, c| ((r * 13 + c * 3) % 7) as f64 * 0.25 - 0.5);
+            let mut blocked = DenseMatrix::zeros(m, n);
+            matmul_rows_into(&a, &b, 0, m, blocked.as_mut_slice().as_mut_ptr());
+            let naive = a.matmul(&b);
+            assert!(
+                blocked.sub(&naive).max_abs() < 1e-10,
+                "blocked kernel diverged on {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn zip_inplace_matches_zip() {
+        let a = DenseMatrix::from_fn(6, 5, |r, c| (r + c) as f64);
+        let b = DenseMatrix::from_fn(6, 5, |r, c| (r * c) as f64 * 0.5);
+        let mut c = a.clone();
+        c.zip_inplace(&b, |x, y| x * 2.0 - y);
+        assert_eq!(c, a.zip(&b, |x, y| x * 2.0 - y));
     }
 }

@@ -1,0 +1,174 @@
+//! Lightweight per-kernel counters (calls, flops, wall time).
+//!
+//! Compiled to a no-op unless the `kernel-stats` feature is enabled, so hot
+//! kernels pay nothing in normal builds. With the feature on, every kernel
+//! wrapped in [`record`] bumps three atomic counters; [`snapshot`] returns
+//! the totals so benchmarks and future profiling PRs can see where time
+//! goes without a profiler attached.
+
+/// Instrumented kernels. Extend this (and [`Kernel::name`], and `COUNT`)
+/// when new kernels are wrapped in [`record`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Kernel {
+    /// Dense × dense product (`par::matmul`).
+    Matmul = 0,
+    /// Dense transposed product (`par::matmul_tn`).
+    MatmulTn,
+    /// CSR × dense product (`par::spmm_dense`).
+    SpmmDense,
+    /// CSR × CSR product (`CsrMatrix::spmm`).
+    Spmm,
+    /// CSR transpose.
+    SparseTranspose,
+    /// Top-k row pruning.
+    PruneTopK,
+}
+
+/// Number of [`Kernel`] variants (size of the counter table).
+#[cfg(feature = "kernel-stats")]
+const KERNEL_COUNT: usize = 6;
+
+impl Kernel {
+    /// Stable display name used in snapshots and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Matmul => "matmul",
+            Kernel::MatmulTn => "matmul_tn",
+            Kernel::SpmmDense => "spmm_dense",
+            Kernel::Spmm => "spmm",
+            Kernel::SparseTranspose => "sparse_transpose",
+            Kernel::PruneTopK => "prune_top_k",
+        }
+    }
+
+    #[cfg(feature = "kernel-stats")]
+    const ALL: [Kernel; KERNEL_COUNT] = [
+        Kernel::Matmul,
+        Kernel::MatmulTn,
+        Kernel::SpmmDense,
+        Kernel::Spmm,
+        Kernel::SparseTranspose,
+        Kernel::PruneTopK,
+    ];
+}
+
+/// One kernel's accumulated totals, as returned by [`snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Kernel display name.
+    pub kernel: &'static str,
+    /// Number of [`record`] invocations.
+    pub calls: u64,
+    /// Total floating-point operations reported by callers.
+    pub flops: u64,
+    /// Total wall time spent inside the kernel, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+#[cfg(feature = "kernel-stats")]
+mod imp {
+    use super::{Kernel, KernelStat, KERNEL_COUNT};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
+
+    struct Row {
+        calls: AtomicU64,
+        flops: AtomicU64,
+        wall_ns: AtomicU64,
+    }
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO_ROW: Row = Row {
+        calls: AtomicU64::new(0),
+        flops: AtomicU64::new(0),
+        wall_ns: AtomicU64::new(0),
+    };
+    static TABLE: [Row; KERNEL_COUNT] = [ZERO_ROW; KERNEL_COUNT];
+
+    pub fn record<R>(kernel: Kernel, flops: u64, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let row = &TABLE[kernel as usize];
+        row.calls.fetch_add(1, Ordering::Relaxed);
+        row.flops.fetch_add(flops, Ordering::Relaxed);
+        row.wall_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    pub fn snapshot() -> Vec<KernelStat> {
+        Kernel::ALL
+            .iter()
+            .map(|&k| {
+                let row = &TABLE[k as usize];
+                KernelStat {
+                    kernel: k.name(),
+                    calls: row.calls.load(Ordering::Relaxed),
+                    flops: row.flops.load(Ordering::Relaxed),
+                    wall_ns: row.wall_ns.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    pub fn reset() {
+        for row in &TABLE {
+            row.calls.store(0, Ordering::Relaxed);
+            row.flops.store(0, Ordering::Relaxed);
+            row.wall_ns.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs `f`, charging its wall time and `flops` to `kernel` when the
+/// `kernel-stats` feature is on; otherwise just runs `f`.
+#[inline]
+pub fn record<R>(kernel: Kernel, flops: u64, f: impl FnOnce() -> R) -> R {
+    #[cfg(feature = "kernel-stats")]
+    {
+        imp::record(kernel, flops, f)
+    }
+    #[cfg(not(feature = "kernel-stats"))]
+    {
+        let _ = (kernel, flops);
+        f()
+    }
+}
+
+/// Current totals for every kernel (empty when `kernel-stats` is off).
+pub fn snapshot() -> Vec<KernelStat> {
+    #[cfg(feature = "kernel-stats")]
+    {
+        imp::snapshot()
+    }
+    #[cfg(not(feature = "kernel-stats"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Zeroes every counter (no-op when `kernel-stats` is off).
+pub fn reset() {
+    #[cfg(feature = "kernel-stats")]
+    imp::reset();
+}
+
+#[cfg(all(test, feature = "kernel-stats"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_reset_clears() {
+        reset();
+        let v = record(Kernel::Matmul, 100, || 41 + 1);
+        assert_eq!(v, 42);
+        record(Kernel::Matmul, 50, || ());
+        let stats = snapshot();
+        let row = stats.iter().find(|s| s.kernel == "matmul").unwrap();
+        assert_eq!(row.calls, 2);
+        assert_eq!(row.flops, 150);
+        reset();
+        assert!(snapshot().iter().all(|s| s.calls == 0));
+    }
+}

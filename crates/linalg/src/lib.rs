@@ -11,13 +11,18 @@
 //!   product, reduction and normalization operations;
 //! * [`CsrMatrix`] — compressed-sparse-row matrices with sparse×sparse /
 //!   sparse×dense products, normalizations, and pruning;
-//! * [`par`] — multi-threaded versions of the two hot products;
+//! * [`par`] — multi-threaded versions of the hot products;
+//! * [`pool`] — the persistent worker-pool runtime every multi-threaded
+//!   kernel dispatches through (`ANECI_NUM_THREADS` / `ANECI_PAR_THRESHOLD`);
+//! * [`kernel_stats`] — optional per-kernel counters (`kernel-stats` feature);
 //! * [`rng`] — explicit-seed randomness, Xavier/He initializers, alias-table
 //!   sampling;
 //! * [`stats`] — small statistics shared across the workspace.
 
 pub mod dense;
+pub mod kernel_stats;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod sparse;
 pub mod stats;

@@ -6,7 +6,14 @@
 //! invariant and the property tests in this module defend it.
 
 use crate::dense::DenseMatrix;
+use crate::kernel_stats::{self, Kernel};
+use crate::pool::{self, SendPtr};
 use serde::{Deserialize, Serialize};
+
+/// Per-row-range kernel output: per-row entry counts plus the concatenated
+/// indices/values for those rows. Chunks of these are stitched back together
+/// in row order, so pooled kernels produce output identical to serial.
+type RowChunk = (Vec<usize>, Vec<u32>, Vec<f64>);
 
 /// A CSR sparse matrix of `f64`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -216,8 +223,19 @@ impl CsrMatrix {
         out
     }
 
-    /// Transposes the matrix (O(nnz) counting sort).
+    /// Transposes the matrix (O(nnz) counting sort; pooled two-pass above
+    /// the pool threshold, with output identical to the serial path).
     pub fn transpose(&self) -> CsrMatrix {
+        kernel_stats::record(Kernel::SparseTranspose, self.nnz() as u64, || {
+            if pool::should_parallelize(self.nnz()) {
+                self.transpose_parallel()
+            } else {
+                self.transpose_serial()
+            }
+        })
+    }
+
+    fn transpose_serial(&self) -> CsrMatrix {
         let mut counts = vec![0usize; self.cols + 1];
         for &c in &self.indices {
             counts[c as usize + 1] += 1;
@@ -236,6 +254,71 @@ impl CsrMatrix {
                 values[pos] = v;
                 next[c] += 1;
             }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Two-pass pooled transpose: pass 1 builds a per-chunk column
+    /// histogram; the histograms are prefix-summed into per-chunk write
+    /// offsets, so pass 2 scatters with no atomics and lands every entry at
+    /// exactly the position the serial counting sort would (entries within
+    /// an output row stay ordered by source row).
+    fn transpose_parallel(&self) -> CsrMatrix {
+        let grain = pool::row_grain(self.rows, 64);
+        let mut hists = pool::parallel_map_chunks(self.rows, grain, |lo, hi| {
+            let mut counts = vec![0usize; self.cols];
+            for &c in &self.indices[self.indptr[lo]..self.indptr[hi]] {
+                counts[c as usize] += 1;
+            }
+            counts
+        });
+        let mut indptr = vec![0usize; self.cols + 1];
+        for hist in &hists {
+            for (c, &n) in hist.iter().enumerate() {
+                indptr[c + 1] += n;
+            }
+        }
+        for c in 0..self.cols {
+            indptr[c + 1] += indptr[c];
+        }
+        // Per-column running offset over chunks: hists[k][c] becomes the
+        // position where chunk k writes its first entry for column c.
+        let mut running = indptr[..self.cols].to_vec();
+        for hist in &mut hists {
+            for (c, slot) in hist.iter_mut().enumerate() {
+                let n = *slot;
+                *slot = running[c];
+                running[c] += n;
+            }
+        }
+        let nnz = self.nnz();
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
+        {
+            let iptr = SendPtr(indices.as_mut_ptr());
+            let vptr = SendPtr(values.as_mut_ptr());
+            let hists = &hists;
+            pool::parallel_for_chunks(self.rows, grain, |chunk, lo, hi| {
+                let mut next = hists[chunk].clone();
+                for r in lo..hi {
+                    for (c, v) in self.row_entries(r) {
+                        let pos = next[c];
+                        // SAFETY: offsets are disjoint across chunks by
+                        // construction of the per-chunk histograms.
+                        unsafe {
+                            *iptr.get().add(pos) = r as u32;
+                            *vptr.get().add(pos) = v;
+                        }
+                        next[c] += 1;
+                    }
+                }
+            });
         }
         CsrMatrix {
             rows: self.cols,
@@ -270,19 +353,49 @@ impl CsrMatrix {
         out
     }
 
-    /// Sparse × sparse matrix product (classic Gustavson row-merge).
+    /// Sparse × sparse matrix product (classic Gustavson row-merge), pooled
+    /// over output rows above the pool threshold.
     pub fn spmm(&self, other: &CsrMatrix) -> CsrMatrix {
+        let mut out = CsrMatrix::zeros(self.rows, other.cols);
+        self.spmm_into(other, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::spmm`] writing into `out`, reusing its buffers (the
+    /// proximity power loop calls this every order; reuse keeps it from
+    /// re-materializing multi-million-entry vectors each time).
+    pub fn spmm_into(&self, other: &CsrMatrix, out: &mut CsrMatrix) {
         assert_eq!(self.cols, other.rows, "spmm: inner dimension mismatch");
-        let mut indptr = Vec::with_capacity(self.rows + 1);
+        // Expected multiply-adds: every stored entry of `self` expands one
+        // average row of `other`.
+        let est = self.nnz() * other.nnz() / other.rows.max(1);
+        kernel_stats::record(Kernel::Spmm, 2 * est as u64, || {
+            let chunks = if pool::should_parallelize(est) {
+                let grain = pool::row_grain(self.rows, 16);
+                pool::parallel_map_chunks(self.rows, grain, |lo, hi| {
+                    self.spmm_rows(other, lo, hi)
+                })
+            } else {
+                vec![self.spmm_rows(other, 0, self.rows)]
+            };
+            assemble_rows_into(self.rows, other.cols, &chunks, out);
+        });
+    }
+
+    /// Gustavson row-merge of rows `lo..hi` with chunk-local scratch.
+    /// Explicit zeros (sums cancelling exactly) are dropped, matching the
+    /// constructor invariant.
+    fn spmm_rows(&self, other: &CsrMatrix, lo: usize, hi: usize) -> RowChunk {
+        let mut lens = Vec::with_capacity(hi - lo);
         let mut indices: Vec<u32> = Vec::new();
         let mut values: Vec<f64> = Vec::new();
-        indptr.push(0);
         // Dense accumulator with an O(1) "touched" marker array.
         let mut acc = vec![0.0f64; other.cols];
         let mut mark = vec![false; other.cols];
         let mut touched: Vec<u32> = Vec::new();
-        for r in 0..self.rows {
+        for r in lo..hi {
             touched.clear();
+            let before = indices.len();
             for (k, a) in self.row_entries(r) {
                 for (c, b) in other.row_entries(k) {
                     if !mark[c] {
@@ -302,24 +415,31 @@ impl CsrMatrix {
                 acc[c as usize] = 0.0;
                 mark[c as usize] = false;
             }
-            indptr.push(indices.len());
+            lens.push(indices.len() - before);
         }
-        CsrMatrix {
-            rows: self.rows,
-            cols: other.cols,
-            indptr,
-            indices,
-            values,
-        }
+        (lens, indices, values)
     }
 
     /// Elementwise sum `self + alpha * other` on matching shapes.
     pub fn add_scaled(&self, other: &CsrMatrix, alpha: f64) -> CsrMatrix {
+        let mut out = CsrMatrix::zeros(self.rows, self.cols);
+        self.add_scaled_into(other, alpha, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::add_scaled`] writing into `out`, reusing its buffers.
+    pub fn add_scaled_into(&self, other: &CsrMatrix, alpha: f64, out: &mut CsrMatrix) {
         assert_eq!(self.shape(), other.shape(), "add_scaled: shape mismatch");
-        let mut indptr = Vec::with_capacity(self.rows + 1);
-        let mut indices: Vec<u32> = Vec::new();
-        let mut values: Vec<f64> = Vec::new();
-        indptr.push(0);
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.indptr.clear();
+        out.indptr.reserve(self.rows + 1);
+        out.indptr.push(0);
+        out.indices.clear();
+        out.values.clear();
+        let cap = self.nnz() + other.nnz();
+        out.indices.reserve(cap);
+        out.values.reserve(cap);
         for r in 0..self.rows {
             let mut a = self.indptr[r];
             let a_end = self.indptr[r + 1];
@@ -327,32 +447,25 @@ impl CsrMatrix {
             let b_end = other.indptr[r + 1];
             while a < a_end || b < b_end {
                 let (c, v) = if b >= b_end || (a < a_end && self.indices[a] < other.indices[b]) {
-                    let out = (self.indices[a], self.values[a]);
+                    let entry = (self.indices[a], self.values[a]);
                     a += 1;
-                    out
+                    entry
                 } else if a >= a_end || other.indices[b] < self.indices[a] {
-                    let out = (other.indices[b], alpha * other.values[b]);
+                    let entry = (other.indices[b], alpha * other.values[b]);
                     b += 1;
-                    out
+                    entry
                 } else {
-                    let out = (self.indices[a], self.values[a] + alpha * other.values[b]);
+                    let entry = (self.indices[a], self.values[a] + alpha * other.values[b]);
                     a += 1;
                     b += 1;
-                    out
+                    entry
                 };
                 if v != 0.0 {
-                    indices.push(c);
-                    values.push(v);
+                    out.indices.push(c);
+                    out.values.push(v);
                 }
             }
-            indptr.push(indices.len());
-        }
-        CsrMatrix {
-            rows: self.rows,
-            cols: self.cols,
-            indptr,
-            indices,
-            values,
+            out.indptr.push(out.indices.len());
         }
     }
 
@@ -379,20 +492,41 @@ impl CsrMatrix {
     /// to 1. This is the `f(·)` of Definition 3 in the paper.
     pub fn row_normalize(&self) -> CsrMatrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let range = out.indptr[r]..out.indptr[r + 1];
-            let sum: f64 = out.values[range.clone()].iter().sum();
-            if sum != 0.0 {
-                for v in &mut out.values[range] {
-                    *v /= sum;
-                }
-            }
-        }
+        out.row_normalize_inplace();
         out
     }
 
+    /// In-place row normalization (rows own disjoint value ranges, so the
+    /// pooled path is bit-identical to serial).
+    pub fn row_normalize_inplace(&mut self) {
+        let nnz = self.nnz();
+        let rows = self.rows;
+        let indptr = &self.indptr;
+        let vptr = SendPtr(self.values.as_mut_ptr());
+        let body = |lo: usize, hi: usize| {
+            for r in lo..hi {
+                let (s, e) = (indptr[r], indptr[r + 1]);
+                // SAFETY: each row's value range is touched by exactly one
+                // chunk.
+                let row = unsafe { std::slice::from_raw_parts_mut(vptr.get().add(s), e - s) };
+                let sum: f64 = row.iter().sum();
+                if sum != 0.0 {
+                    for v in row {
+                        *v /= sum;
+                    }
+                }
+            }
+        };
+        if pool::should_parallelize(nnz) {
+            pool::parallel_for(rows, pool::row_grain(rows, 64), body);
+        } else {
+            body(0, rows);
+        }
+    }
+
     /// Symmetric normalization `D^-1/2 * self * D^-1/2` where `D` is the
-    /// diagonal of row sums. Rows with zero sum are left zeroed.
+    /// diagonal of row sums. Rows with zero sum are left zeroed. Pooled over
+    /// rows above the pool threshold (bit-identical to serial).
     pub fn sym_normalize(&self) -> CsrMatrix {
         let deg = self.row_sums();
         let inv_sqrt: Vec<f64> = deg
@@ -400,25 +534,62 @@ impl CsrMatrix {
             .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
             .collect();
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let range = out.indptr[r]..out.indptr[r + 1];
-            let dr = inv_sqrt[r];
-            for (pos, idx) in range.clone().zip(out.indices[range.clone()].iter()) {
-                out.values[pos] *= dr * inv_sqrt[*idx as usize];
+        let rows = out.rows;
+        let indptr = &out.indptr;
+        let indices = &out.indices;
+        let vptr = SendPtr(out.values.as_mut_ptr());
+        let inv = &inv_sqrt;
+        let body = |lo: usize, hi: usize| {
+            for r in lo..hi {
+                let dr = inv[r];
+                for pos in indptr[r]..indptr[r + 1] {
+                    // SAFETY: each row's value range is touched by exactly
+                    // one chunk.
+                    unsafe {
+                        *vptr.get().add(pos) *= dr * inv[indices[pos] as usize];
+                    }
+                }
             }
+        };
+        if pool::should_parallelize(self.nnz()) {
+            pool::parallel_for(rows, pool::row_grain(rows, 64), body);
+        } else {
+            body(0, rows);
         }
         out
     }
 
     /// Keeps the `k` largest-magnitude entries of every row (used to bound
-    /// densification of high-order proximity matrices).
+    /// densification of high-order proximity matrices). Pooled over rows
+    /// above the pool threshold.
     pub fn prune_top_k_per_row(&self, k: usize) -> CsrMatrix {
-        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut out = CsrMatrix::zeros(self.rows, self.cols);
+        self.prune_top_k_into(k, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::prune_top_k_per_row`] writing into `out`, reusing its
+    /// buffers.
+    pub fn prune_top_k_into(&self, k: usize, out: &mut CsrMatrix) {
+        // Sorting each row costs ~nnz log nnz; nnz is a fine work proxy.
+        kernel_stats::record(Kernel::PruneTopK, self.nnz() as u64, || {
+            let chunks = if pool::should_parallelize(self.nnz()) {
+                let grain = pool::row_grain(self.rows, 16);
+                pool::parallel_map_chunks(self.rows, grain, |lo, hi| self.prune_rows(k, lo, hi))
+            } else {
+                vec![self.prune_rows(k, 0, self.rows)]
+            };
+            assemble_rows_into(self.rows, self.cols, &chunks, out);
+        });
+    }
+
+    /// Top-k pruning of rows `lo..hi` with chunk-local scratch.
+    fn prune_rows(&self, k: usize, lo: usize, hi: usize) -> RowChunk {
+        let mut lens = Vec::with_capacity(hi - lo);
         let mut indices: Vec<u32> = Vec::new();
         let mut values: Vec<f64> = Vec::new();
-        indptr.push(0);
         let mut row_buf: Vec<(u32, f64)> = Vec::new();
-        for r in 0..self.rows {
+        for r in lo..hi {
             row_buf.clear();
             row_buf.extend(self.row_entries(r).map(|(c, v)| (c as u32, v)));
             if row_buf.len() > k {
@@ -435,15 +606,9 @@ impl CsrMatrix {
                 indices.push(c);
                 values.push(v);
             }
-            indptr.push(indices.len());
+            lens.push(row_buf.len());
         }
-        CsrMatrix {
-            rows: self.rows,
-            cols: self.cols,
-            indptr,
-            indices,
-            values,
-        }
+        (lens, indices, values)
     }
 
     /// Drops entries with `|value| < eps`.
@@ -477,6 +642,33 @@ impl CsrMatrix {
             self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
         }
     }
+}
+
+/// Stitches per-row-range kernel outputs (in row order) into `out`, reusing
+/// its buffers. The concatenation order matches the serial loop exactly.
+fn assemble_rows_into(rows: usize, cols: usize, chunks: &[RowChunk], out: &mut CsrMatrix) {
+    out.rows = rows;
+    out.cols = cols;
+    out.indptr.clear();
+    out.indptr.reserve(rows + 1);
+    out.indptr.push(0);
+    let nnz: usize = chunks.iter().map(|(_, idx, _)| idx.len()).sum();
+    out.indices.clear();
+    out.indices.reserve(nnz);
+    out.values.clear();
+    out.values.reserve(nnz);
+    let mut total = 0usize;
+    for (lens, indices, values) in chunks {
+        debug_assert_eq!(indices.len(), values.len());
+        for &len in lens {
+            total += len;
+            out.indptr.push(total);
+        }
+        out.indices.extend_from_slice(indices);
+        out.values.extend_from_slice(values);
+    }
+    debug_assert_eq!(out.indptr.len(), rows + 1);
+    debug_assert_eq!(out.indices.len(), nnz);
 }
 
 #[cfg(test)]
@@ -657,6 +849,48 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn from_raw_rejects_unsorted() {
         let _ = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match() {
+        let a = sample();
+        let b = sample().transpose();
+        // One shared output buffer reused across three different kernels.
+        let mut out = CsrMatrix::zeros(0, 0);
+        a.spmm_into(&b, &mut out);
+        assert_eq!(out, a.spmm(&b));
+        a.add_scaled_into(&b, 0.5, &mut out);
+        assert_eq!(out, a.add_scaled(&b, 0.5));
+        a.prune_top_k_into(1, &mut out);
+        assert_eq!(out, a.prune_top_k_per_row(1));
+    }
+
+    #[test]
+    fn pooled_sparse_kernels_match_serial() {
+        crate::pool::force_pool();
+        let trips: Vec<(usize, usize, f64)> = (0..4000)
+            .map(|i| ((i * 37) % 200, (i * 61) % 200, ((i % 9) as f64) - 4.0))
+            .collect();
+        let s = CsrMatrix::from_triplets(200, 200, &trips);
+        // With force_pool the threshold is 1, so these all take the pooled
+        // path; compare against the serial implementations.
+        assert_eq!(s.transpose(), s.transpose_serial());
+        let spmm_par = s.spmm(&s);
+        let spmm_ser = {
+            let chunk = s.spmm_rows(&s, 0, s.rows());
+            let mut out = CsrMatrix::zeros(0, 0);
+            assemble_rows_into(s.rows(), s.cols(), &[chunk], &mut out);
+            out
+        };
+        assert_eq!(spmm_par, spmm_ser);
+        let pr = s.prune_top_k_per_row(3);
+        let pr_ser = {
+            let chunk = s.prune_rows(3, 0, s.rows());
+            let mut out = CsrMatrix::zeros(0, 0);
+            assemble_rows_into(s.rows(), s.cols(), &[chunk], &mut out);
+            out
+        };
+        assert_eq!(pr, pr_ser);
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Parity suite: every pooled kernel must match its serial counterpart to
+//! 1e-10 (bit-identical where the docs promise it) across adversarial
+//! shapes — 1×N, N×1, empty rows, prime row counts, all-zero sparse rows.
+//!
+//! `force_pool` drops the pool threshold to 1 and guarantees ≥4 threads, so
+//! every kernel here genuinely takes the pooled path even on small inputs
+//! and single-core CI runners.
+
+use aneci_linalg::pool;
+use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
+use aneci_linalg::{CsrMatrix, DenseMatrix};
+
+const TOL: f64 = 1e-10;
+
+/// Deterministic dense test matrix with a sprinkling of exact zeros (so the
+/// zero-skip branches of the kernels are exercised).
+fn dense(rows: usize, cols: usize, seed: usize) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |r, c| {
+        let x = (r * 31 + c * 7 + seed * 13) % 17;
+        if x == 0 {
+            0.0
+        } else {
+            x as f64 * 0.25 - 2.0
+        }
+    })
+}
+
+/// Sparse matrix with structurally empty rows (every third row) and a row
+/// whose entries would cancel in products.
+fn sparse(rows: usize, cols: usize, seed: usize) -> CsrMatrix {
+    let mut trips = Vec::new();
+    for r in 0..rows {
+        if r % 3 == 1 {
+            continue; // empty row
+        }
+        for j in 0..4 {
+            let c = (r * 7 + j * 11 + seed) % cols;
+            trips.push((r, c, ((r + j + seed) % 5) as f64 - 2.0));
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, &trips)
+}
+
+/// Naive serial dense product, independent of the library kernels.
+fn matmul_ref(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    DenseMatrix::from_fn(a.rows(), b.cols(), |r, c| {
+        (0..a.cols()).map(|k| a.get(r, k) * b.get(k, c)).sum()
+    })
+}
+
+#[test]
+fn matmul_parity_adversarial_shapes() {
+    pool::force_pool();
+    // (m, k, n): 1×N, N×1, prime row counts, tile remainders, tiny.
+    for &(m, k, n) in &[
+        (1usize, 300usize, 64usize),
+        (300, 300, 1),
+        (257, 131, 67),
+        (64, 64, 64),
+        (3, 2, 5),
+        (97, 17, 8),
+    ] {
+        let a = dense(m, k, 1);
+        let b = dense(k, n, 2);
+        let pooled = aneci_linalg::par::matmul(&a, &b);
+        let serial = matmul_ref(&a, &b);
+        assert!(
+            pooled.sub(&serial).max_abs() < TOL,
+            "matmul parity failed at {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn matmul_tn_parity() {
+    pool::force_pool();
+    for &(m, k, n) in &[(1usize, 5usize, 7usize), (257, 31, 19), (500, 64, 64)] {
+        let a = dense(m, k, 3);
+        let b = dense(m, n, 4);
+        let pooled = aneci_linalg::par::matmul_tn(&a, &b);
+        let serial = matmul_ref(&a.transpose(), &b);
+        assert!(
+            pooled.sub(&serial).max_abs() < TOL,
+            "matmul_tn parity failed at ({m}){k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn spmm_dense_parity_with_empty_rows() {
+    pool::force_pool();
+    for &(m, n, d) in &[(1usize, 40usize, 8usize), (257, 101, 33), (90, 90, 1)] {
+        let s = sparse(m, n, 5);
+        let x = dense(n, d, 6);
+        let pooled = aneci_linalg::par::spmm_dense(&s, &x);
+        let serial = matmul_ref(&s.to_dense(), &x);
+        assert!(
+            pooled.sub(&serial).max_abs() < TOL,
+            "spmm_dense parity failed at {m}x{n}x{d}"
+        );
+        // Structurally empty input rows must yield exactly-zero output rows.
+        for r in 0..m {
+            if s.row_nnz(r) == 0 {
+                assert!(pooled.row(r).iter().all(|&v| v == 0.0), "row {r} not zero");
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_spmm_parity() {
+    pool::force_pool();
+    for &(m, k, n) in &[(1usize, 50usize, 50usize), (211, 103, 157), (60, 60, 60)] {
+        let a = sparse(m, k, 7);
+        let b = sparse(k, n, 8);
+        let pooled = a.spmm(&b);
+        let serial = matmul_ref(&a.to_dense(), &b.to_dense());
+        assert!(
+            pooled.to_dense().sub(&serial).max_abs() < TOL,
+            "sparse spmm parity failed at {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn sparse_transpose_parity_is_exact() {
+    pool::force_pool();
+    for &(m, n) in &[(1usize, 80usize), (257, 61), (96, 1), (100, 100)] {
+        let s = sparse(m, n, 9);
+        let t = s.transpose();
+        assert_eq!(t.to_dense(), s.to_dense().transpose(), "transpose {m}x{n}");
+        assert_eq!(t.transpose(), s, "double transpose {m}x{n}");
+    }
+}
+
+#[test]
+fn prune_top_k_parity_is_exact() {
+    pool::force_pool();
+    let s = sparse(257, 91, 10);
+    for k in [0usize, 1, 2, 10] {
+        let pruned = s.prune_top_k_per_row(k);
+        for r in 0..s.rows() {
+            assert!(pruned.row_nnz(r) <= k, "row {r} k={k}");
+        }
+        // Every surviving entry must exist in the original with equal value.
+        for (r, c, v) in pruned.iter() {
+            assert_eq!(s.get(r, c), v, "entry ({r},{c}) changed");
+        }
+    }
+    // k larger than any row: identity.
+    assert_eq!(s.prune_top_k_per_row(1000), s);
+}
+
+#[test]
+fn normalize_parity_is_exact() {
+    pool::force_pool();
+    let s = sparse(257, 257, 11);
+    let rn = s.row_normalize();
+    for r in 0..s.rows() {
+        let orig: f64 = s.row_entries(r).map(|(_, v)| v).sum();
+        if s.row_nnz(r) > 0 && orig != 0.0 {
+            let sum: f64 = rn.row_entries(r).map(|(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < TOL, "row {r} sums to {sum}");
+        } else {
+            // Empty rows and exactly-cancelling rows pass through unchanged.
+            let unchanged: Vec<_> = s.row_entries(r).collect();
+            assert_eq!(rn.row_entries(r).collect::<Vec<_>>(), unchanged);
+        }
+    }
+    // Symmetric normalization against a dense reference.
+    let sym = s.sym_normalize();
+    let deg: Vec<f64> = s.to_dense().row_sums();
+    let dense_ref = DenseMatrix::from_fn(s.rows(), s.cols(), |i, j| {
+        let (di, dj) = (deg[i], deg[j]);
+        if di > 0.0 && dj > 0.0 {
+            s.get(i, j) / (di.sqrt() * dj.sqrt())
+        } else {
+            0.0
+        }
+    });
+    assert!(sym.to_dense().sub(&dense_ref).max_abs() < TOL);
+}
+
+#[test]
+fn dense_elementwise_and_reductions_parity() {
+    pool::force_pool();
+    // Big enough to clear the elementwise floor (1<<12 entries).
+    let a = dense(257, 67, 12);
+    let b = dense(257, 67, 13);
+
+    let mapped = a.map(|v| v * 2.0 - 1.0);
+    let zipped = a.zip(&b, |x, y| x * y + 0.5);
+    for i in 0..a.len() {
+        let (x, y) = (a.as_slice()[i], b.as_slice()[i]);
+        assert_eq!(mapped.as_slice()[i], x * 2.0 - 1.0);
+        assert_eq!(zipped.as_slice()[i], x * y + 0.5);
+    }
+
+    let serial_sum: f64 = a.as_slice().iter().sum();
+    assert!((a.sum() - serial_sum).abs() < TOL * serial_sum.abs().max(1.0));
+    let serial_dot: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    assert!((a.dot(&b) - serial_dot).abs() < TOL * serial_dot.abs().max(1.0));
+
+    assert_eq!(a.transpose().transpose(), a);
+
+    let mut soft = a.clone();
+    soft.softmax_rows_inplace();
+    for row in soft.rows_iter() {
+        let sum: f64 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn pooled_results_stable_across_thread_caps() {
+    pool::force_pool();
+    let mut rng = seeded_rng(99);
+    let a = gaussian_matrix(129, 65, 1.0, &mut rng);
+    let b = gaussian_matrix(65, 33, 1.0, &mut rng);
+    let wide = aneci_linalg::par::matmul(&a, &b);
+    // Capping participation must not change a single bit: the chunk
+    // decomposition depends only on the problem shape.
+    pool::set_num_threads(2);
+    let narrow = aneci_linalg::par::matmul(&a, &b);
+    pool::set_num_threads(4);
+    assert_eq!(wide, narrow);
+}
+
+#[test]
+fn nested_parallel_for_does_not_deadlock() {
+    pool::force_pool();
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let total = AtomicUsize::new(0);
+    pool::parallel_for(16, 1, |lo, hi| {
+        for _ in lo..hi {
+            pool::parallel_for(32, 4, |ilo, ihi| {
+                // Two levels down: still must run (inline) and terminate.
+                pool::parallel_for(8, 2, |jlo, jhi| {
+                    total.fetch_add((ihi - ilo) * (jhi - jlo), Ordering::Relaxed);
+                });
+            });
+        }
+    });
+    // 16 outer × (sum over inner chunks of chunk_len) pairs…: every inner
+    // element pairs with every innermost element: 16 * 32 * 8 with the
+    // chunk-product decomposition summing to the same total.
+    assert_eq!(total.load(Ordering::Relaxed), 16 * 32 * 8);
+}
