@@ -29,7 +29,12 @@ pub struct HopeConfig {
 
 impl Default for HopeConfig {
     fn default() -> Self {
-        Self { dim: 16, proximity: ProximityConfig::uniform(2), iterations: 100, seed: 0 }
+        Self {
+            dim: 16,
+            proximity: ProximityConfig::uniform(2),
+            iterations: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -65,7 +70,13 @@ mod tests {
     #[test]
     fn embedding_shape_and_finiteness() {
         let g = karate_club();
-        let z = hope_embedding(&g, &HopeConfig { dim: 8, ..Default::default() });
+        let z = hope_embedding(
+            &g,
+            &HopeConfig {
+                dim: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(z.shape(), (34, 8));
         assert!(z.all_finite());
     }
@@ -75,7 +86,12 @@ mod tests {
         // Low-rank Z Zᵀ should correlate with the symmetrized Ã far better
         // than a random embedding of the same size.
         let g = karate_club();
-        let cfg = HopeConfig { dim: 8, iterations: 200, seed: 1, ..Default::default() };
+        let cfg = HopeConfig {
+            dim: 8,
+            iterations: 200,
+            seed: 1,
+            ..Default::default()
+        };
         let z = hope_embedding(&g, &cfg);
         let ho = HighOrder::build(g.adjacency(), &cfg.proximity);
         let target = {
@@ -101,7 +117,15 @@ mod tests {
     #[test]
     fn separates_karate_factions() {
         let g = karate_club();
-        let z = hope_embedding(&g, &HopeConfig { dim: 4, iterations: 200, seed: 3, ..Default::default() });
+        let z = hope_embedding(
+            &g,
+            &HopeConfig {
+                dim: 4,
+                iterations: 200,
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let labels = g.labels.as_ref().unwrap();
         // Nearest-centroid check.
         let mut centroids = vec![vec![0.0; 4]; 2];
@@ -117,8 +141,12 @@ mod tests {
                 *v /= n as f64;
             }
         }
-        let dist =
-            |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>();
+        let dist = |a: &[f64], b: &[f64]| {
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f64>()
+        };
         let correct = (0..34)
             .filter(|&i| {
                 let d0 = dist(z.row(i), &centroids[0]);
@@ -132,7 +160,11 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let g = karate_club();
-        let cfg = HopeConfig { dim: 4, seed: 7, ..Default::default() };
+        let cfg = HopeConfig {
+            dim: 4,
+            seed: 7,
+            ..Default::default()
+        };
         assert_eq!(hope_embedding(&g, &cfg), hope_embedding(&g, &cfg));
     }
 }

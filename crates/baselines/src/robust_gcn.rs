@@ -69,7 +69,9 @@ fn sampled_norm_adjacency(
             trips.push((v, u, 1.0));
         }
     }
-    CsrMatrix::from_triplets(n, n, &trips).add_identity().sym_normalize()
+    CsrMatrix::from_triplets(n, n, &trips)
+        .add_identity()
+        .sym_normalize()
 }
 
 impl RobustGcn {
@@ -80,7 +82,11 @@ impl RobustGcn {
             (0.0..1.0).contains(&config.drop_edge_rate),
             "drop rate must be in [0, 1)"
         );
-        let labels = graph.labels.as_ref().expect("RobustGcn needs labels").clone();
+        let labels = graph
+            .labels
+            .as_ref()
+            .expect("RobustGcn needs labels")
+            .clone();
         let num_classes = graph.num_classes();
         assert!(num_classes >= 2, "need at least two classes");
         let features = graph.features().clone();
@@ -88,13 +94,23 @@ impl RobustGcn {
 
         let mut rng = seeded_rng(derive_seed(config.seed, 0x26C1));
         let mut params = ParamSet::new();
-        params.register("w1", xavier_uniform(features.cols(), config.hidden_dim, &mut rng));
-        params.register("w2", xavier_uniform(config.hidden_dim, num_classes, &mut rng));
+        params.register(
+            "w1",
+            xavier_uniform(features.cols(), config.hidden_dim, &mut rng),
+        );
+        params.register(
+            "w2",
+            xavier_uniform(config.hidden_dim, num_classes, &mut rng),
+        );
 
         let mut opt = Adam::new(config.lr).with_weight_decay(config.weight_decay);
         let mut train_losses = Vec::new();
         for _ in 0..config.epochs {
-            let s = Arc::new(sampled_norm_adjacency(graph, config.drop_edge_rate, &mut rng));
+            let s = Arc::new(sampled_norm_adjacency(
+                graph,
+                config.drop_edge_rate,
+                &mut rng,
+            ));
             let mut tape = Tape::new();
             let w = params.leaf_all(&mut tape);
             let x = tape.constant(features.clone());
@@ -110,7 +126,12 @@ impl RobustGcn {
             drop(tape);
             opt.step(&mut params, &grads);
         }
-        Self { params, norm_adj, features, train_losses }
+        Self {
+            params,
+            norm_adj,
+            features,
+            train_losses,
+        }
     }
 
     /// Full-graph logits (inference mode, no edge dropping).
@@ -155,7 +176,10 @@ mod tests {
             homophily: 0.85,
             degree_exponent: Some(2.5),
             feature_dim: 64,
-            features: FeatureKind::BagOfWords { p_signal: 0.2, p_noise: 0.02 },
+            features: FeatureKind::BagOfWords {
+                p_signal: 0.2,
+                p_noise: 0.02,
+            },
         };
         let mut g = generate_sbm(&cfg, seed);
         let labels = g.labels.clone().unwrap();
@@ -166,7 +190,13 @@ mod tests {
     #[test]
     fn learns_despite_edge_dropping() {
         let g = bench(1);
-        let model = RobustGcn::fit(&g, &RobustGcnConfig { epochs: 150, ..Default::default() });
+        let model = RobustGcn::fit(
+            &g,
+            &RobustGcnConfig {
+                epochs: 150,
+                ..Default::default()
+            },
+        );
         let acc = model.accuracy_on(&g, &g.split.test);
         assert!(acc > 0.8, "DropEdge-GCN accuracy {acc}");
     }
@@ -207,12 +237,21 @@ mod tests {
         for seed in [0u64, 1, 2] {
             let p = GcnClassifier::fit(
                 &attacked,
-                &GcnConfig { epochs: 150, patience: 0, seed, ..Default::default() },
+                &GcnConfig {
+                    epochs: 150,
+                    patience: 0,
+                    seed,
+                    ..Default::default()
+                },
             );
             plain += p.accuracy_on(&attacked, &attacked.split.test);
             let r = RobustGcn::fit(
                 &attacked,
-                &RobustGcnConfig { epochs: 150, seed, ..Default::default() },
+                &RobustGcnConfig {
+                    epochs: 150,
+                    seed,
+                    ..Default::default()
+                },
             );
             robust += r.accuracy_on(&attacked, &attacked.split.test);
         }
@@ -227,7 +266,14 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let g = bench(4);
-        let cfg = RobustGcnConfig { epochs: 25, seed: 5, ..Default::default() };
-        assert_eq!(RobustGcn::fit(&g, &cfg).predict(), RobustGcn::fit(&g, &cfg).predict());
+        let cfg = RobustGcnConfig {
+            epochs: 25,
+            seed: 5,
+            ..Default::default()
+        };
+        assert_eq!(
+            RobustGcn::fit(&g, &cfg).predict(),
+            RobustGcn::fit(&g, &cfg).predict()
+        );
     }
 }

@@ -1,12 +1,16 @@
-//! Kernel smoke benchmark: times each hot kernel serially and through the
-//! persistent pool, then writes `BENCH_kernels.json` at the repo root so the
-//! perf trajectory is machine-readable from PR to PR.
+//! Perf smoke benchmarks, machine-readable from PR to PR.
 //!
-//! Run with `cargo run --release -p aneci-bench --bin bench_report`.
+//! * Default mode times each hot kernel serially and through the persistent
+//!   pool and writes `BENCH_kernels.json` at the repo root.
+//! * `--serve` times the serving subsystem — exact vs HNSW top-k on a
+//!   Cora-scale embedding, plus end-to-end JSONL engine throughput — and
+//!   writes `BENCH_serve.json` (including the measured ANN recall@10).
+//!
+//! Run with `cargo run --release -p aneci-bench --bin bench_report [-- --serve]`.
 //! `ANECI_NUM_THREADS` caps the pooled measurements as usual.
 
 use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
-use aneci_linalg::{par, pool, CsrMatrix};
+use aneci_linalg::{par, pool, CsrMatrix, DenseMatrix};
 use rand::Rng;
 use std::hint::black_box;
 use std::time::Instant;
@@ -59,6 +63,14 @@ fn random_csr(n: usize, deg: usize, seed: u64) -> CsrMatrix {
 }
 
 fn main() {
+    if std::env::args().skip(1).any(|a| a == "--serve") {
+        serve_bench();
+    } else {
+        kernel_bench();
+    }
+}
+
+fn kernel_bench() {
     pool::force_pool();
     let threads = pool::num_threads();
     let mut rng = seeded_rng(7);
@@ -195,4 +207,159 @@ fn main() {
             row.speedup()
         );
     }
+}
+
+/// `p`-th percentile of an ascending-sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-query latencies (microseconds, sorted ascending) of `f` over `queries`.
+fn latencies_us(queries: &[usize], mut f: impl FnMut(usize)) -> Vec<f64> {
+    let mut lat: Vec<f64> = queries
+        .iter()
+        .map(|&q| {
+            let t = Instant::now();
+            f(q);
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    lat.sort_by(f64::total_cmp);
+    lat
+}
+
+fn lat_json(lat: &[f64], qps: f64) -> serde_json::Value {
+    serde_json::json!({
+        "qps": qps,
+        "p50_us": percentile(lat, 0.50),
+        "p95_us": percentile(lat, 0.95),
+        "p99_us": percentile(lat, 0.99),
+    })
+}
+
+/// Serving benchmark: exact vs ANN top-k on a Cora-scale community-structured
+/// embedding, recall@10, and end-to-end JSONL engine throughput.
+fn serve_bench() {
+    use aneci_graph::Benchmark;
+    use aneci_serve::engine::{EngineConfig, QueryEngine};
+    use aneci_serve::hnsw::{recall_at_k, HnswConfig, HnswIndex};
+    use aneci_serve::store::{EmbeddingStore, Metric};
+
+    pool::force_pool();
+    let threads = pool::num_threads();
+
+    // Cora-scale corpus: the SBM generator's community labels drive a
+    // clustered embedding (centroid + noise) shaped like a trained model's —
+    // the regime the recall@10 acceptance bar is about.
+    let graph = Benchmark::Cora.generate(1.0, 7);
+    let labels = graph.labels.clone().expect("benchmark graphs are labelled");
+    let n = graph.num_nodes();
+    let dim = 128;
+    let k = 10;
+    let ef = 128;
+    let mut rng = seeded_rng(21);
+    let centroids = gaussian_matrix(labels.iter().max().unwrap() + 1, dim, 1.0, &mut rng);
+    let noise = gaussian_matrix(n, dim, 1.0, &mut rng);
+    let embedding = DenseMatrix::from_fn(n, dim, |r, c| {
+        3.0 * centroids.get(labels[r], c) + 0.8 * noise.get(r, c)
+    });
+    let store = EmbeddingStore::new(embedding.clone(), None);
+    let queries: Vec<usize> = (0..400).map(|i| (i * 97) % n).collect();
+
+    // Exact brute-force path.
+    let t = Instant::now();
+    let exact: Vec<Vec<(usize, f64)>> = queries
+        .iter()
+        .map(|&q| store.top_k_node(q, k, Metric::Cosine))
+        .collect();
+    let exact_qps = queries.len() as f64 / t.elapsed().as_secs_f64().max(1e-12);
+    let exact_lat = latencies_us(&queries, |q| {
+        black_box(store.top_k_node(q, k, Metric::Cosine));
+    });
+
+    // ANN path: build once, search with a generous beam.
+    let t = Instant::now();
+    let index = HnswIndex::build(&embedding, Metric::Cosine, &HnswConfig::default());
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let approx: Vec<Vec<(usize, f64)>> = queries
+        .iter()
+        .map(|&q| index.search(embedding.row(q), k, ef, Some(q)))
+        .collect();
+    let ann_qps = queries.len() as f64 / t.elapsed().as_secs_f64().max(1e-12);
+    let ann_lat = latencies_us(&queries, |q| {
+        black_box(index.search(embedding.row(q), k, ef, Some(q)));
+    });
+    let recall = exact
+        .iter()
+        .zip(&approx)
+        .map(|(e, a)| recall_at_k(e, a))
+        .sum::<f64>()
+        / queries.len() as f64;
+
+    // End-to-end JSONL engine throughput (parse → execute → serialize),
+    // batched on the pool, cache off so every line does real work.
+    let lines: Vec<String> = queries
+        .iter()
+        .map(|q| format!(r#"{{"op":"top_k","node":{q},"k":{k}}}"#))
+        .collect();
+    let exact_engine = QueryEngine::new(
+        EmbeddingStore::new(embedding.clone(), None),
+        EngineConfig::default(),
+    );
+    let t = Instant::now();
+    black_box(exact_engine.run_batch(&lines));
+    let engine_exact_qps = lines.len() as f64 / t.elapsed().as_secs_f64().max(1e-12);
+    let ann_engine = QueryEngine::new(
+        EmbeddingStore::new(embedding.clone(), None),
+        EngineConfig {
+            use_ann: true,
+            ef_search: ef,
+            ..EngineConfig::default()
+        },
+    );
+    let t = Instant::now();
+    black_box(ann_engine.run_batch(&lines));
+    let engine_ann_qps = lines.len() as f64 / t.elapsed().as_secs_f64().max(1e-12);
+
+    let report = serde_json::json!({
+        "threads": threads,
+        "nodes": n,
+        "dim": dim,
+        "k": k,
+        "ef_search": ef,
+        "num_queries": queries.len(),
+        "hnsw_build_ms": build_ms,
+        "recall_at_10": recall,
+        "exact": lat_json(&exact_lat, exact_qps),
+        "ann": lat_json(&ann_lat, ann_qps),
+        "engine_jsonl": {
+            "exact_qps": engine_exact_qps,
+            "ann_qps": engine_ann_qps,
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .expect("failed to write BENCH_serve.json");
+
+    println!("wrote {path} ({threads} threads, {n} nodes, dim {dim})");
+    println!(
+        "  exact  {exact_qps:>9.0} q/s   p50 {:>8.1} us   p99 {:>8.1} us",
+        percentile(&exact_lat, 0.50),
+        percentile(&exact_lat, 0.99),
+    );
+    println!(
+        "  ann    {ann_qps:>9.0} q/s   p50 {:>8.1} us   p99 {:>8.1} us   recall@10 {recall:.4}   build {build_ms:.0} ms",
+        percentile(&ann_lat, 0.50),
+        percentile(&ann_lat, 0.99),
+    );
+    println!("  engine (JSONL) exact {engine_exact_qps:.0} q/s, ann {engine_ann_qps:.0} q/s");
+    assert!(
+        recall >= 0.95,
+        "ANN recall@10 regressed below the 0.95 acceptance bar: {recall:.4}"
+    );
 }

@@ -84,13 +84,19 @@ impl ExpArgs {
             };
             match args[i].as_str() {
                 "--scale" => {
-                    out.scale = value(&mut i)?.parse().map_err(|e| format!("bad --scale: {e}"))?
+                    out.scale = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --scale: {e}"))?
                 }
                 "--seed" => {
-                    out.seed = value(&mut i)?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                    out.seed = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?
                 }
                 "--rounds" => {
-                    out.rounds = value(&mut i)?.parse().map_err(|e| format!("bad --rounds: {e}"))?
+                    out.rounds = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --rounds: {e}"))?
                 }
                 "--out-dir" => out.out_dir = value(&mut i)?,
                 "--datasets" => {
@@ -239,10 +245,19 @@ mod tests {
     #[test]
     fn try_parse_accepts_valid_args() {
         let a = ExpArgs::try_parse(
-            ["--scale", "0.5", "--seed", "9", "--rounds", "2", "--datasets", "cora,pubmed"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            [
+                "--scale",
+                "0.5",
+                "--seed",
+                "9",
+                "--rounds",
+                "2",
+                "--datasets",
+                "cora,pubmed",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         )
         .unwrap();
         assert_eq!(a.scale, 0.5);
@@ -253,16 +268,23 @@ mod tests {
 
     #[test]
     fn try_parse_rejects_bad_input() {
-        let parse = |args: &[&str]| {
-            ExpArgs::try_parse(args.iter().map(|s| s.to_string()).collect())
-        };
-        assert!(parse(&["--datasets", "bogus"]).unwrap_err().contains("unknown dataset"));
+        let parse =
+            |args: &[&str]| ExpArgs::try_parse(args.iter().map(|s| s.to_string()).collect());
+        assert!(parse(&["--datasets", "bogus"])
+            .unwrap_err()
+            .contains("unknown dataset"));
         assert!(parse(&["--scale", "0"]).unwrap_err().contains("(0, 1]"));
         assert!(parse(&["--scale", "1.5"]).unwrap_err().contains("(0, 1]"));
         assert!(parse(&["--seed"]).unwrap_err().contains("missing value"));
-        assert!(parse(&["--seed", "abc"]).unwrap_err().contains("bad --seed"));
-        assert!(parse(&["--rounds", "0"]).unwrap_err().contains("at least 1"));
-        assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown argument"));
+        assert!(parse(&["--seed", "abc"])
+            .unwrap_err()
+            .contains("bad --seed"));
+        assert!(parse(&["--rounds", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("unknown argument"));
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub enum StopStrategy {
 }
 
 /// Full configuration of the AnECI model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AneciConfig {
     /// Hidden width of the first GCN layer.
     pub hidden_dim: usize,

@@ -13,7 +13,10 @@
 //! * [`anomaly`] — membership-entropy node anomaly scores, edge anomaly
 //!   scores, the defense score `DS(δ)` of Sec. VI-B1;
 //! * [`denoise`] — **AnECI+**, the two-stage denoising variant
-//!   (Algorithm 1).
+//!   (Algorithm 1);
+//! * [`checkpoint`] — the versioned, checksummed `.aneci` binary format
+//!   that persists a trained model (embedding, membership, encoder weights,
+//!   config) bit-exactly for the serving layer (`aneci-serve`).
 //!
 //! ```no_run
 //! use aneci_core::{AneciConfig, train_aneci};
@@ -27,6 +30,7 @@
 //! ```
 
 pub mod anomaly;
+pub mod checkpoint;
 pub mod config;
 pub mod denoise;
 pub mod model;
@@ -36,6 +40,7 @@ pub use anomaly::{
     combined_anomaly_scores, defense_score, edge_anomaly_scores, neighborhood_anomaly_scores,
     node_anomaly_scores,
 };
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{AneciConfig, ReconMode, StopStrategy};
 pub use denoise::{aneci_plus, DenoiseConfig, DenoiseResult};
 pub use model::{rigidity, train_aneci, AneciModel, TrainReport, ValProbe};

@@ -18,6 +18,7 @@
 //! Adam. Note `L_R` here is *averaged* over the evaluated pairs (rather than
 //! summed) so `β₂` keeps the same meaning in exact and sampled modes.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{AneciConfig, ReconMode, StopStrategy};
 use aneci_autograd::{Adam, BcePair, ParamSet, Tape, Var};
 use aneci_graph::{AttributedGraph, HighOrder};
@@ -337,6 +338,87 @@ impl AneciModel {
     pub fn num_parameters(&self) -> usize {
         self.params.num_scalars()
     }
+
+    /// Snapshots the trained model into a durable [`Checkpoint`]: embedding,
+    /// membership, encoder weights and configuration. Errors if the model
+    /// has not been trained (there is no kept embedding to persist).
+    pub fn checkpoint(&self) -> Result<Checkpoint, String> {
+        let embedding = self
+            .best_embedding
+            .clone()
+            .ok_or("checkpoint: model has no kept embedding — call train() first")?;
+        let membership = embedding.softmax_rows();
+        let weights = (0..self.params.len())
+            .map(|s| (self.params.name(s).to_string(), self.params.get(s).clone()))
+            .collect();
+        Ok(Checkpoint {
+            config: self.config.clone(),
+            embedding,
+            membership,
+            weights,
+        })
+    }
+
+    /// Saves a [`Checkpoint`] of the trained model to `path` (conventionally
+    /// `*.aneci`). See [`crate::checkpoint`] for the format.
+    pub fn save_checkpoint(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let ckpt = self
+            .checkpoint()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        ckpt.save(path).map_err(std::io::Error::from)
+    }
+
+    /// Loads a [`Checkpoint`] from `path`. Convenience twin of
+    /// [`Checkpoint::load`] so save/load live on the same type.
+    pub fn load_checkpoint(path: impl AsRef<std::path::Path>) -> std::io::Result<Checkpoint> {
+        Checkpoint::load(path).map_err(std::io::Error::from)
+    }
+
+    /// Rebuilds a trained model from a checkpoint and the graph it was
+    /// trained on: the encoder weights and kept embedding are restored
+    /// bit-exactly, so `embedding()`, `membership()`, `communities()` and a
+    /// warm-started `train()` all behave as they did before persistence.
+    ///
+    /// Errors when the checkpoint does not match the graph (node count) or
+    /// the weights do not match the configured architecture.
+    pub fn from_checkpoint(graph: &AttributedGraph, ckpt: &Checkpoint) -> Result<Self, String> {
+        if ckpt.embedding.rows() != graph.num_nodes() {
+            return Err(format!(
+                "checkpoint covers {} nodes but the graph has {}",
+                ckpt.embedding.rows(),
+                graph.num_nodes()
+            ));
+        }
+        let mut model = Self::new(graph, &ckpt.config);
+        if ckpt.weights.len() != model.params.len() {
+            return Err(format!(
+                "checkpoint has {} weight tensors, architecture expects {}",
+                ckpt.weights.len(),
+                model.params.len()
+            ));
+        }
+        for slot in 0..model.params.len() {
+            let want_name = model.params.name(slot).to_string();
+            let (name, value) = &ckpt.weights[slot];
+            if *name != want_name {
+                return Err(format!(
+                    "weight slot {slot} is '{name}' in the checkpoint but '{want_name}' here"
+                ));
+            }
+            if value.shape() != model.params.get(slot).shape() {
+                return Err(format!(
+                    "weight '{name}' is {}x{} in the checkpoint but {}x{} here",
+                    value.rows(),
+                    value.cols(),
+                    model.params.get(slot).rows(),
+                    model.params.get(slot).cols()
+                ));
+            }
+            *model.params.get_mut(slot) = value.clone();
+        }
+        model.best_embedding = Some(ckpt.embedding.clone());
+        Ok(model)
+    }
 }
 
 /// Rigidity index `tr(PᵀP)/N` (Sec. VI-E3): 1 ⟺ hard partition.
@@ -581,6 +663,39 @@ mod tests {
         let (m1, _) = train_aneci(&g, &quick_config(9));
         let (m2, _) = train_aneci(&g, &quick_config(9));
         assert_eq!(m1.embedding(), m2.embedding());
+    }
+
+    #[test]
+    fn checkpoint_restores_model_bit_exactly() {
+        let g = karate_club();
+        let (model, _) = train_aneci(&g, &quick_config(21));
+        let ckpt = model.checkpoint().unwrap();
+        let bytes = ckpt.to_bytes().unwrap();
+        let loaded = crate::checkpoint::Checkpoint::from_bytes(&bytes).unwrap();
+        let restored = AneciModel::from_checkpoint(&g, &loaded).unwrap();
+        assert_eq!(restored.embedding(), model.embedding());
+        assert_eq!(restored.membership(), model.membership());
+        assert_eq!(restored.communities(), model.communities());
+        // The restored weights drive the same forward pass.
+        assert_eq!(restored.forward_embedding(), model.forward_embedding());
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_graph() {
+        let g = karate_club();
+        let (model, _) = train_aneci(&g, &quick_config(22));
+        let ckpt = model.checkpoint().unwrap();
+        let mut sbm = SbmConfig::small();
+        sbm.num_nodes = 50;
+        let other = generate_sbm(&sbm, 1);
+        assert!(AneciModel::from_checkpoint(&other, &ckpt).is_err());
+    }
+
+    #[test]
+    fn checkpoint_before_training_errors() {
+        let g = karate_club();
+        let model = AneciModel::new(&g, &quick_config(23));
+        assert!(model.checkpoint().is_err());
     }
 
     use aneci_linalg::rng::seeded_rng;

@@ -23,7 +23,9 @@ pub mod tsne;
 
 pub use iforest::{isolation_forest_scores, IsolationForest, IsolationForestConfig};
 pub use kmeans::{kmeans, kmeans_best_of, KMeansResult};
-pub use linkpred::{link_auc, link_average_precision, split_edges, LinkSplit};
+pub use linkpred::{
+    edge_score, edge_scores, link_auc, link_average_precision, split_edges, LinkSplit,
+};
 pub use logreg::{evaluate_embedding, LogRegConfig, LogisticRegression};
 pub use metrics::{accuracy, ari, auc, macro_f1, modularity, nmi};
 pub use timer::{time_it, TimingTable};

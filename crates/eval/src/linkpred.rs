@@ -73,14 +73,42 @@ pub fn split_edges(graph: &AttributedGraph, test_fraction: f64, seed: u64) -> Li
 }
 
 /// Inner-product edge score `σ(z_u · z_v)`.
+///
+/// This is the *canonical* link scorer: the serving layer
+/// (`aneci-serve`) answers `edge_score` queries through this same function,
+/// so a score computed at serve time always matches the one the evaluation
+/// harness would report.
 pub fn edge_score(embedding: &DenseMatrix, u: usize, v: usize) -> f64 {
-    let s: f64 = embedding
-        .row(u)
-        .iter()
-        .zip(embedding.row(v))
-        .map(|(&a, &b)| a * b)
-        .sum();
+    let s = aneci_linalg::vector::dot(embedding.row(u), embedding.row(v));
     1.0 / (1.0 + (-s).exp())
+}
+
+/// Scores a batch of candidate edges, dispatching to the persistent pool
+/// when the batch is large enough. Output order matches `pairs`, and —
+/// like every pooled kernel — the values are bit-identical to the serial
+/// path regardless of thread count (each score touches disjoint output).
+pub fn edge_scores(embedding: &DenseMatrix, pairs: &[(usize, usize)]) -> Vec<f64> {
+    let work = pairs.len().saturating_mul(embedding.cols());
+    let mut out = vec![0.0; pairs.len()];
+    if aneci_linalg::pool::should_parallelize(work) {
+        let grain = aneci_linalg::pool::row_grain(pairs.len(), 16);
+        let chunks = aneci_linalg::pool::parallel_map_chunks(pairs.len(), grain, |lo, hi| {
+            pairs[lo..hi]
+                .iter()
+                .map(|&(u, v)| edge_score(embedding, u, v))
+                .collect::<Vec<f64>>()
+        });
+        let mut at = 0;
+        for chunk in chunks {
+            out[at..at + chunk.len()].copy_from_slice(&chunk);
+            at += chunk.len();
+        }
+    } else {
+        for (slot, &(u, v)) in out.iter_mut().zip(pairs) {
+            *slot = edge_score(embedding, u, v);
+        }
+    }
+    out
 }
 
 /// Link-prediction AUC of an embedding over a [`LinkSplit`].
@@ -200,5 +228,52 @@ mod tests {
         let b = split_edges(&g, 0.25, 9);
         assert_eq!(a.test_edges, b.test_edges);
         assert_eq!(a.test_non_edges, b.test_non_edges);
+    }
+
+    #[test]
+    fn edge_scores_bit_identical_across_thread_counts() {
+        use aneci_linalg::pool;
+        // Force the pooled path into existence, then compare a genuinely
+        // pooled run against a single-thread run of the same batch: the
+        // serving layer relies on scores not depending on the pool size.
+        pool::force_pool();
+        let mut rng = aneci_linalg::rng::seeded_rng(31);
+        let z = aneci_linalg::rng::gaussian_matrix(300, 16, 1.0, &mut rng);
+        let pairs: Vec<(usize, usize)> = (0..2000)
+            .map(|i| ((i * 7) % 300, (i * 13 + 5) % 300))
+            .collect();
+
+        pool::set_par_threshold(1);
+        let pooled = edge_scores(&z, &pairs);
+        pool::set_num_threads(1);
+        let serial = edge_scores(&z, &pairs);
+        // Restore defaults for whatever test runs next in this process.
+        pool::set_num_threads(4);
+
+        assert_eq!(pooled, serial, "thread count changed edge scores");
+        // And both agree with the one-at-a-time canonical scorer.
+        for (s, &(u, v)) in serial.iter().zip(&pairs) {
+            assert_eq!(*s, edge_score(&z, u, v));
+        }
+    }
+
+    #[test]
+    fn link_auc_deterministic_across_thread_counts() {
+        use aneci_linalg::pool;
+        pool::force_pool();
+        let g = karate_club();
+        let mut rng = aneci_linalg::rng::seeded_rng(17);
+        let z = aneci_linalg::rng::gaussian_matrix(34, 8, 1.0, &mut rng);
+        let split = split_edges(&g, 0.2, 7);
+
+        pool::set_num_threads(1);
+        let auc_single = link_auc(&z, &split);
+        let ap_single = link_average_precision(&z, &split);
+        pool::set_num_threads(4);
+        let auc_multi = link_auc(&z, &split);
+        let ap_multi = link_average_precision(&z, &split);
+
+        assert_eq!(auc_single, auc_multi);
+        assert_eq!(ap_single, ap_multi);
     }
 }

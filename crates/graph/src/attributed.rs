@@ -228,6 +228,14 @@ impl AttributedGraph {
     /// violation. Used by tests and by the attack code after edits.
     pub fn validate(&self) -> Result<(), String> {
         let a = &self.adjacency;
+        // Structural CSR invariants first: deserialized matrices bypass the
+        // constructors, and iterating a malformed CSR would panic instead of
+        // returning the Err the load paths promise.
+        a.check_invariants()
+            .map_err(|e| format!("adjacency CSR invalid: {e}"))?;
+        self.features
+            .check_invariants()
+            .map_err(|e| format!("features invalid: {e}"))?;
         if a.rows() != a.cols() {
             return Err("adjacency not square".into());
         }

@@ -20,11 +20,24 @@ pub fn save_json(graph: &AttributedGraph, path: impl AsRef<Path>) -> io::Result<
     f.write_all(json.as_bytes())
 }
 
+/// Maps a malformed-content error (as opposed to an OS-level I/O failure)
+/// into the `InvalidData` kind so callers can distinguish "file unreadable"
+/// from "file readable but not a valid graph".
+fn invalid_data(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
 /// Loads a graph from JSON and validates its invariants.
+///
+/// Malformed input — unparseable JSON, or JSON that decodes into a graph
+/// violating the structural invariants (ragged feature storage, corrupt CSR
+/// row pointers, asymmetric edges, self-loops, bad splits) — returns an
+/// [`io::ErrorKind::InvalidData`] error; this function never panics on bad
+/// file contents.
 pub fn load_json(path: impl AsRef<Path>) -> io::Result<AttributedGraph> {
     let data = fs::read_to_string(path)?;
-    let graph: AttributedGraph = serde_json::from_str(&data).map_err(io::Error::other)?;
-    graph.validate().map_err(io::Error::other)?;
+    let graph: AttributedGraph = serde_json::from_str(&data).map_err(invalid_data)?;
+    graph.validate().map_err(invalid_data)?;
     Ok(graph)
 }
 
@@ -91,9 +104,12 @@ pub fn parse_edge_list(
 }
 
 /// Reads an edge-list file into a plain (identity-feature) graph.
+///
+/// Malformed lines (missing endpoints, non-numeric tokens) return an
+/// [`io::ErrorKind::InvalidData`] error rather than panicking.
 pub fn load_edge_list(path: impl AsRef<Path>) -> io::Result<AttributedGraph> {
     let text = fs::read_to_string(path)?;
-    let (n, edges) = parse_edge_list(&text, None).map_err(io::Error::other)?;
+    let (n, edges) = parse_edge_list(&text, None).map_err(invalid_data)?;
     Ok(AttributedGraph::from_edges_plain(n, &edges, None))
 }
 
@@ -143,6 +159,58 @@ mod tests {
         assert!(parse_edge_list("0 5\n", Some(3)).is_err());
         assert!(parse_edge_list("0 x\n", None).is_err());
         assert!(parse_edge_list("0\n", None).is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        let dir = std::env::temp_dir().join("aneci_io_malformed");
+        fs::create_dir_all(&dir).unwrap();
+
+        // Unparseable JSON.
+        let p = dir.join("truncated.json");
+        fs::write(&p, "{\"adjacency\": {\"rows\": 3").unwrap();
+        let err = load_json(&p).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // JSON that parses but decodes a corrupt CSR adjacency (indptr
+        // pointing past the stored entries) — must be InvalidData, not a
+        // slice panic when the graph is first used.
+        let p = dir.join("bad_csr.json");
+        fs::write(
+            &p,
+            r#"{"adjacency":{"rows":2,"cols":2,"indptr":[0,50,1],"indices":[0],"values":[1.0]},
+                "features":{"rows":2,"cols":1,"data":[0.0,0.0]},
+                "labels":null,"split":{"train":[],"val":[],"test":[]},"name":"bad"}"#,
+        )
+        .unwrap();
+        match load_json(&p) {
+            Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidData),
+            Ok(_) => panic!("corrupt CSR accepted"),
+        }
+
+        // JSON with ragged dense feature storage.
+        let p = dir.join("bad_features.json");
+        fs::write(
+            &p,
+            r#"{"adjacency":{"rows":1,"cols":1,"indptr":[0,0],"indices":[],"values":[]},
+                "features":{"rows":1,"cols":4,"data":[0.0]},
+                "labels":null,"split":{"train":[],"val":[],"test":[]},"name":"bad"}"#,
+        )
+        .unwrap();
+        match load_json(&p) {
+            Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidData),
+            Ok(_) => panic!("ragged features accepted"),
+        }
+
+        // Malformed edge lists.
+        let p = dir.join("bad.edges");
+        fs::write(&p, "0 1\n2 not_a_number\n").unwrap();
+        let err = load_edge_list(&p).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        fs::write(&p, "0\n").unwrap();
+        assert!(load_edge_list(&p).is_err());
+
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

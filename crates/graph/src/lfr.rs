@@ -262,7 +262,10 @@ mod tests {
 
     #[test]
     fn mixing_parameter_controls_homophily() {
-        let mut cfg = LfrConfig { mu: 0.1, ..Default::default() };
+        let mut cfg = LfrConfig {
+            mu: 0.1,
+            ..Default::default()
+        };
         let tight = generate_lfr(&cfg, 2);
         cfg.mu = 0.5;
         let loose = generate_lfr(&cfg, 2);

@@ -9,7 +9,7 @@ use aneci_linalg::CsrMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for building the high-order proximity matrix.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ProximityConfig {
     /// Per-order weights `w = [w₁, …, w_l]`; the length determines the
     /// order `l`. The paper's default is uniform weights over `l = 2`.

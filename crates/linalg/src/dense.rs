@@ -128,6 +128,26 @@ impl DenseMatrix {
         }
     }
 
+    /// Checks the storage invariant (`data.len() == rows * cols`) without
+    /// panicking. Constructors enforce it; the check exists for
+    /// serde-deserialized matrices, where a malformed file must turn into an
+    /// `Err` from the load path rather than a row-slicing panic later.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let want = self
+            .rows
+            .checked_mul(self.cols)
+            .ok_or_else(|| format!("shape {}x{} overflows", self.rows, self.cols))?;
+        if self.data.len() != want {
+            return Err(format!(
+                "data length {} does not match shape {}x{}",
+                self.data.len(),
+                self.rows,
+                self.cols
+            ));
+        }
+        Ok(())
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -236,7 +256,14 @@ impl DenseMatrix {
                 transpose_block(&self.data, out_data, rows, cols, lo, hi);
             });
         } else {
-            transpose_block(&self.data, out.data.as_mut_ptr(), self.rows, self.cols, 0, self.rows);
+            transpose_block(
+                &self.data,
+                out.data.as_mut_ptr(),
+                self.rows,
+                self.cols,
+                0,
+                self.rows,
+            );
         }
         out
     }
@@ -306,7 +333,10 @@ impl DenseMatrix {
             pool::parallel_for(self.data.len(), flat_grain(self.data.len()), |lo, hi| {
                 // SAFETY: chunks cover disjoint ranges of `out.data`.
                 let dst = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo), hi - lo) };
-                for ((o, &a), &b) in dst.iter_mut().zip(&self.data[lo..hi]).zip(&other.data[lo..hi])
+                for ((o, &a), &b) in dst
+                    .iter_mut()
+                    .zip(&self.data[lo..hi])
+                    .zip(&other.data[lo..hi])
                 {
                     *o = f(a, b);
                 }

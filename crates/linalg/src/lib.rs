@@ -17,6 +17,8 @@
 //! * [`kernel_stats`] — optional per-kernel counters (`kernel-stats` feature);
 //! * [`rng`] — explicit-seed randomness, Xavier/He initializers, alias-table
 //!   sampling;
+//! * [`vector`] — flat similarity kernels (dot / cosine / L2) shared by the
+//!   serving layer's exact scorer and ANN index;
 //! * [`stats`] — small statistics shared across the workspace.
 
 pub mod dense;
@@ -26,6 +28,7 @@ pub mod pool;
 pub mod rng;
 pub mod sparse;
 pub mod stats;
+pub mod vector;
 
 pub use dense::DenseMatrix;
 pub use sparse::CsrMatrix;

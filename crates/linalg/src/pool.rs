@@ -226,7 +226,12 @@ fn worker_loop(shared: &'static Shared) {
                         seen = guard.epoch;
                         break job;
                     }
-                    _ => guard = shared.work_cv.wait(guard).unwrap_or_else(|p| p.into_inner()),
+                    _ => {
+                        guard = shared
+                            .work_cv
+                            .wait(guard)
+                            .unwrap_or_else(|p| p.into_inner())
+                    }
                 }
             }
         };
@@ -251,10 +256,9 @@ impl Pool {
         // function blocks (done_cv below) until every worker has finished
         // running the job, so the pointee strictly outlives all uses.
         let erased: *const (dyn Fn() + Sync) = unsafe {
-            std::mem::transmute::<
-                *const (dyn Fn() + Sync + '_),
-                *const (dyn Fn() + Sync + 'static),
-            >(task as *const _)
+            std::mem::transmute::<*const (dyn Fn() + Sync + '_), *const (dyn Fn() + Sync + 'static)>(
+                task as *const _,
+            )
         };
         {
             let mut guard = lock(&self.shared.slot);

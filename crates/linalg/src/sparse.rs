@@ -136,6 +136,53 @@ impl CsrMatrix {
         }
     }
 
+    /// Checks the CSR invariants without panicking: `indptr` monotone with
+    /// the right length and end, `indices`/`values` aligned, and every row's
+    /// indices strictly increasing and in range. Constructors enforce all of
+    /// this, so the check exists for matrices that *bypassed* a constructor —
+    /// chiefly serde-deserialized ones, where a malformed file must surface
+    /// as `Err` from the load path instead of an out-of-bounds panic later.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.indptr.len() != self.rows + 1 {
+            return Err(format!(
+                "indptr length {} != rows+1 = {}",
+                self.indptr.len(),
+                self.rows + 1
+            ));
+        }
+        if self.indices.len() != self.values.len() {
+            return Err(format!(
+                "indices/values length mismatch: {} vs {}",
+                self.indices.len(),
+                self.values.len()
+            ));
+        }
+        if self.indptr[0] != 0 || *self.indptr.last().unwrap() != self.indices.len() {
+            return Err("indptr must start at 0 and end at nnz".into());
+        }
+        // Full monotonicity first: together with the endpoint check above it
+        // bounds every indptr value by nnz, making the row slicing below safe.
+        for r in 0..self.rows {
+            if self.indptr[r] > self.indptr[r + 1] {
+                return Err(format!("indptr not monotone at row {r}"));
+            }
+        }
+        for r in 0..self.rows {
+            let row = &self.indices[self.indptr[r]..self.indptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {r}: indices not strictly increasing"));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= self.cols {
+                    return Err(format!("row {r}: column {last} out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -372,9 +419,7 @@ impl CsrMatrix {
         kernel_stats::record(Kernel::Spmm, 2 * est as u64, || {
             let chunks = if pool::should_parallelize(est) {
                 let grain = pool::row_grain(self.rows, 16);
-                pool::parallel_map_chunks(self.rows, grain, |lo, hi| {
-                    self.spmm_rows(other, lo, hi)
-                })
+                pool::parallel_map_chunks(self.rows, grain, |lo, hi| self.spmm_rows(other, lo, hi))
             } else {
                 vec![self.spmm_rows(other, 0, self.rows)]
             };
@@ -900,5 +945,37 @@ mod tests {
         assert!((m.density() - 5.0 / 9.0).abs() < 1e-12);
         assert_eq!(m.row_nnz(0), 2);
         assert_eq!(m.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn check_invariants_accepts_valid_and_rejects_malformed() {
+        assert!(sample().check_invariants().is_ok());
+        assert!(CsrMatrix::zeros(0, 0).check_invariants().is_ok());
+
+        // Hand-build malformed matrices through serde (the only way invalid
+        // state can enter), mirroring what a corrupt JSON file produces.
+        let bad_indptr: CsrMatrix = serde_json::from_str(
+            r#"{"rows":2,"cols":2,"indptr":[0,50,1],"indices":[0],"values":[1.0]}"#,
+        )
+        .unwrap();
+        assert!(bad_indptr.check_invariants().is_err());
+
+        let bad_col: CsrMatrix = serde_json::from_str(
+            r#"{"rows":1,"cols":2,"indptr":[0,1],"indices":[7],"values":[1.0]}"#,
+        )
+        .unwrap();
+        assert!(bad_col.check_invariants().is_err());
+
+        let unsorted: CsrMatrix = serde_json::from_str(
+            r#"{"rows":1,"cols":3,"indptr":[0,2],"indices":[2,0],"values":[1.0,1.0]}"#,
+        )
+        .unwrap();
+        assert!(unsorted.check_invariants().is_err());
+
+        let misaligned: CsrMatrix = serde_json::from_str(
+            r#"{"rows":1,"cols":3,"indptr":[0,1],"indices":[0],"values":[1.0,2.0]}"#,
+        )
+        .unwrap();
+        assert!(misaligned.check_invariants().is_err());
     }
 }

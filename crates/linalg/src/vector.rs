@@ -1,0 +1,135 @@
+//! Flat vector kernels for embedding similarity queries.
+//!
+//! The serving layer (`aneci-serve`) scores a query vector against every row
+//! of an embedding matrix (exact top-k) or against a neighborhood of rows
+//! (the ANN index). Those inner loops live here, next to the other kernels,
+//! so the store and the index share one implementation — and one set of
+//! parity tests — instead of each growing its own dot product.
+//!
+//! All kernels are serial: callers parallelize at the *batch* level (one
+//! query per pool chunk), so per-pair scoring must stay dependency-free and
+//! cheap to inline.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // Four accumulators: breaks the add dependency chain so the compiler
+    // can keep the loop pipelined without -ffast-math style reassociation.
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            acc[lane] += a[base + lane] * b[base + lane];
+        }
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean (L2) norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity `a·b / (‖a‖‖b‖)`; 0 when either vector is all-zero.
+#[inline]
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm2(a);
+    let nb = norm2(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// Cosine similarity when both norms are already known (the store caches
+/// per-row norms). Zero-norm inputs score 0.
+#[inline]
+pub fn cosine_with_norms(dot_ab: f64, norm_a: f64, norm_b: f64) -> f64 {
+    if norm_a == 0.0 || norm_b == 0.0 {
+        0.0
+    } else {
+        dot_ab / (norm_a * norm_b)
+    }
+}
+
+/// Squared Euclidean distance `‖a − b‖²`.
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_euclidean: length mismatch");
+    let mut s = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+/// Scales `a` to unit L2 norm in place; leaves all-zero vectors untouched.
+#[inline]
+pub fn normalize_inplace(a: &mut [f64]) {
+    let n = norm2(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_on_odd_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 13] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 + 1.0) * 0.5).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64) - 2.0).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-12, "len {len}");
+        }
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 2.0];
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(cosine(&a, &b).abs() < 1e-12);
+        assert!((cosine(&a, &[-3.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &a), 0.0);
+    }
+
+    #[test]
+    fn cosine_with_norms_matches_direct() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [-4.0, 0.5, 2.0];
+        let via_norms = cosine_with_norms(dot(&a, &b), norm2(&a), norm2(&b));
+        assert!((via_norms - cosine(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_makes_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize_inplace(&mut v);
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize_inplace(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn squared_euclidean_basics() {
+        assert!((squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 25.0).abs() < 1e-12);
+        assert_eq!(squared_euclidean(&[1.0], &[1.0]), 0.0);
+    }
+}

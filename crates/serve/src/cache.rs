@@ -1,0 +1,243 @@
+//! A fixed-capacity LRU cache for query results.
+//!
+//! Implemented from scratch (no external crates): a `HashMap` from key to
+//! slab slot plus an intrusive doubly-linked recency list over the slab, so
+//! `get`/`put` are O(1) and eviction always removes the least-recently-used
+//! entry. Hit/miss counters feed the engine's serving stats.
+//!
+//! The cache never changes observable results — identical queries have
+//! identical responses (every serve code path is deterministic), so a hit
+//! returns byte-for-byte what a recomputation would.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity least-recently-used cache.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    /// Most-recently-used slot.
+    head: usize,
+    /// Least-recently-used slot.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding up to `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` — use `Option<LruCache>` to disable caching.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of `get` calls that found their key.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of `get` calls that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    /// Links `slot` at the head (most-recently-used position).
+    fn link_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit and updating
+    /// the hit/miss counters.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.hits += 1;
+                if slot != self.head {
+                    self.unlink(slot);
+                    self.link_front(slot);
+                }
+                Some(&self.slab[slot].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+    /// when at capacity. Returns the evicted `(key, value)` if any.
+    pub fn put(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].value = value;
+            if slot != self.head {
+                self.unlink(slot);
+                self.link_front(slot);
+            }
+            return None;
+        }
+
+        if self.map.len() < self.capacity {
+            let slot = self.slab.len();
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.map.insert(key, slot);
+            self.link_front(slot);
+            return None;
+        }
+
+        // At capacity: reuse the LRU slot in place.
+        let slot = self.tail;
+        self.unlink(slot);
+        let old_key = std::mem::replace(&mut self.slab[slot].key, key.clone());
+        let old_value = std::mem::replace(&mut self.slab[slot].value, value);
+        self.map.remove(&old_key);
+        self.map.insert(key, slot);
+        self.link_front(slot);
+        Some((old_key, old_value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.put(1, "one");
+        c.put(2, "two");
+        assert_eq!(c.get(&1), Some(&"one")); // 1 now MRU, 2 is LRU
+        let evicted = c.put(3, "three");
+        assert_eq!(evicted, Some((2, "two")));
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), Some(&"three"));
+        assert_eq!(c.hits(), 3);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_refreshes_existing_key() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        assert!(c.put(1, 11).is_none()); // refresh, no eviction
+        assert_eq!(c.put(3, 30), Some((2, 20))); // 2 was LRU after refresh
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn capacity_one_cycles_correctly() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        for i in 0..10 {
+            let evicted = c.put(i, i * 2);
+            if i > 0 {
+                assert_eq!(evicted, Some((i - 1, (i - 1) * 2)));
+            }
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+            assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn stress_against_reference_model() {
+        // Cross-check against a brute-force recency list over many ops.
+        let mut c: LruCache<u64, u64> = LruCache::new(8);
+        let mut model: Vec<(u64, u64)> = Vec::new(); // front = MRU
+        let mut x = 0x2545F49_u64;
+        for _ in 0..4000 {
+            // Small xorshift for reproducible pseudo-random ops.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 20;
+            // Op bit taken from high bits — the low bit would correlate
+            // with the key's parity and puts/gets would never share keys.
+            if (x >> 33) & 1 == 0 {
+                let val = x % 1000;
+                c.put(key, val);
+                if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
+                    model.remove(pos);
+                }
+                model.insert(0, (key, val));
+                model.truncate(8);
+            } else {
+                let got = c.get(&key).copied();
+                let expect = model.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v);
+                assert_eq!(got, expect);
+                if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
+                    let e = model.remove(pos);
+                    model.insert(0, e);
+                }
+            }
+            assert_eq!(c.len(), model.len());
+        }
+        assert!(c.hits() > 0 && c.misses() > 0);
+    }
+}

@@ -1,0 +1,508 @@
+//! The JSONL query engine: parse → execute → serialize, batched and
+//! concurrent, with an optional LRU response cache.
+//!
+//! One query per line, one JSON response per line, output order always
+//! matching input order. Example session:
+//!
+//! ```json
+//! {"op":"top_k","node":7,"k":5}
+//! {"op":"top_k","vector":[0.1,-0.3,...],"k":3,"metric":"dot"}
+//! {"op":"community","node":12}
+//! {"op":"edge_score","u":3,"v":40}
+//! ```
+//!
+//! Malformed lines produce an `{"kind":"error",...}` response on the
+//! corresponding output line — they never panic and never shift the
+//! alignment between inputs and outputs.
+//!
+//! Batches run on the persistent pool (`aneci_linalg::pool`) in fixed
+//! chunks; since every query handler is deterministic, responses are
+//! byte-identical regardless of thread count or cache state.
+
+use std::sync::Mutex;
+
+use aneci_linalg::pool;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::LruCache;
+use crate::hnsw::{HnswConfig, HnswIndex};
+use crate::store::{EmbeddingStore, Metric};
+
+/// A single query, tagged by `"op"`.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Query {
+    /// Top-k nearest neighbors of a stored node (`node`) or a free vector
+    /// (`vector`). Optional: `k`, `metric` ("cosine"/"dot"), `ann`.
+    TopK {
+        node: Option<usize>,
+        vector: Option<Vec<f64>>,
+        k: Option<usize>,
+        metric: Option<String>,
+        ann: Option<bool>,
+    },
+    /// Community assignment + soft membership of a node.
+    Community { node: usize },
+    /// Link-prediction score for a node pair (the eval scorer).
+    EdgeScore { u: usize, v: usize },
+}
+
+/// A scored neighbor in a [`Response::Neighbors`].
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    pub node: usize,
+    pub score: f64,
+}
+
+/// A single response, tagged by `"kind"`.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Response {
+    Neighbors {
+        neighbors: Vec<Neighbor>,
+        metric: String,
+        /// `true` when answered by the exact brute-force path, `false` when
+        /// answered by the ANN index.
+        exact: bool,
+    },
+    Community {
+        node: usize,
+        community: usize,
+        membership: Vec<f64>,
+    },
+    EdgeScore {
+        u: usize,
+        v: usize,
+        score: f64,
+    },
+    Error {
+        error: String,
+    },
+}
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// `k` when a top-k query omits it.
+    pub default_k: usize,
+    /// Metric when a top-k query omits it.
+    pub default_metric: Metric,
+    /// Build the ANN index and use it for top-k queries by default
+    /// (per-query `"ann"` overrides).
+    pub use_ann: bool,
+    /// Layer-0 beam width for ANN searches.
+    pub ef_search: usize,
+    /// ANN construction parameters.
+    pub hnsw: HnswConfig,
+    /// LRU response-cache capacity; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            default_k: 10,
+            default_metric: Metric::Cosine,
+            use_ann: false,
+            ef_search: 64,
+            hnsw: HnswConfig::default(),
+            cache_capacity: 0,
+        }
+    }
+}
+
+/// The serving engine: store + optional ANN index + optional response cache.
+pub struct QueryEngine {
+    store: EmbeddingStore,
+    ann: Option<HnswIndex>,
+    config: EngineConfig,
+    /// Keyed by the raw (trimmed) query line; values are response lines.
+    /// Correct because every handler is deterministic in the query text.
+    cache: Option<Mutex<LruCache<String, String>>>,
+}
+
+impl QueryEngine {
+    /// Builds an engine over `store`. When `config.use_ann` is set, the HNSW
+    /// index is built here, over `config.default_metric`.
+    pub fn new(store: EmbeddingStore, config: EngineConfig) -> Self {
+        let ann = config
+            .use_ann
+            .then(|| HnswIndex::build(store.embedding(), config.default_metric, &config.hnsw));
+        let cache =
+            (config.cache_capacity > 0).then(|| Mutex::new(LruCache::new(config.cache_capacity)));
+        Self {
+            store,
+            ann,
+            config,
+            cache,
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// `(hits, misses)` of the response cache (zeros when disabled).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        match &self.cache {
+            Some(c) => {
+                let c = c.lock().unwrap();
+                (c.hits(), c.misses())
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Executes one parsed query.
+    pub fn run(&self, query: &Query) -> Response {
+        match query {
+            Query::TopK {
+                node,
+                vector,
+                k,
+                metric,
+                ann,
+            } => self.run_top_k(*node, vector.as_deref(), *k, metric.as_deref(), *ann),
+            Query::Community { node } => self.run_community(*node),
+            Query::EdgeScore { u, v } => self.run_edge_score(*u, *v),
+        }
+    }
+
+    fn run_top_k(
+        &self,
+        node: Option<usize>,
+        vector: Option<&[f64]>,
+        k: Option<usize>,
+        metric: Option<&str>,
+        ann: Option<bool>,
+    ) -> Response {
+        let k = k.unwrap_or(self.config.default_k);
+        let metric = match metric {
+            None => self.config.default_metric,
+            Some(name) => match Metric::parse(name) {
+                Some(m) => m,
+                None => return err(format!("unknown metric {name:?} (cosine|dot)")),
+            },
+        };
+        let owned;
+        let (query, exclude): (&[f64], Option<usize>) = match (node, vector) {
+            (Some(_), Some(_)) => {
+                return err("top_k takes either \"node\" or \"vector\", not both")
+            }
+            (None, None) => return err("top_k needs a \"node\" or a \"vector\""),
+            (Some(n), None) => {
+                if n >= self.store.num_nodes() {
+                    return err(format!(
+                        "node {n} out of range (store has {} nodes)",
+                        self.store.num_nodes()
+                    ));
+                }
+                owned = self.store.vector_of(n).to_vec();
+                (&owned, Some(n))
+            }
+            (None, Some(v)) => {
+                if v.len() != self.store.dim() {
+                    return err(format!(
+                        "vector has {} dims, store embeds in {}",
+                        v.len(),
+                        self.store.dim()
+                    ));
+                }
+                (v, None)
+            }
+        };
+
+        // ANN only answers the metric it was built for; anything else falls
+        // back to the exact path (correctness over speed).
+        let want_ann = ann.unwrap_or(self.config.use_ann);
+        let index = self
+            .ann
+            .as_ref()
+            .filter(|idx| want_ann && idx.metric() == metric);
+        let (hits, exact) = match index {
+            Some(idx) => (idx.search(query, k, self.config.ef_search, exclude), false),
+            None => (self.store.top_k(query, k, metric, exclude), true),
+        };
+        Response::Neighbors {
+            neighbors: hits
+                .into_iter()
+                .map(|(node, score)| Neighbor { node, score })
+                .collect(),
+            metric: metric.name().to_string(),
+            exact,
+        }
+    }
+
+    fn run_community(&self, node: usize) -> Response {
+        if node >= self.store.num_nodes() {
+            return err(format!(
+                "node {node} out of range (store has {} nodes)",
+                self.store.num_nodes()
+            ));
+        }
+        match (self.store.community(node), self.store.membership_row(node)) {
+            (Some(community), Some(row)) => Response::Community {
+                node,
+                community,
+                membership: row.to_vec(),
+            },
+            _ => err("store was built without community membership"),
+        }
+    }
+
+    fn run_edge_score(&self, u: usize, v: usize) -> Response {
+        let n = self.store.num_nodes();
+        if u >= n || v >= n {
+            return err(format!(
+                "edge ({u}, {v}) out of range (store has {n} nodes)"
+            ));
+        }
+        Response::EdgeScore {
+            u,
+            v,
+            score: self.store.edge_score(u, v),
+        }
+    }
+
+    /// Parses and executes one JSONL line, returning the serialized
+    /// response line. Never panics on malformed input. Consults the LRU
+    /// cache first when enabled.
+    pub fn run_line(&self, line: &str) -> String {
+        let key = line.trim();
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.lock().unwrap().get(&key.to_string()).cloned() {
+                return hit;
+            }
+        }
+        let response = match serde_json::from_str::<Query>(key) {
+            Ok(q) => self.run(&q),
+            Err(e) => err(format!("bad query: {e}")),
+        };
+        let out = serde_json::to_string(&response).expect("response serialization cannot fail");
+        if let Some(cache) = &self.cache {
+            cache.lock().unwrap().put(key.to_string(), out.clone());
+        }
+        out
+    }
+
+    /// Executes a batch of JSONL lines concurrently on the persistent pool.
+    /// Responses come back in input order, and — because every handler is
+    /// deterministic — are byte-identical for any thread count.
+    pub fn run_batch<S: AsRef<str> + Sync>(&self, lines: &[S]) -> Vec<String> {
+        let n = lines.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let grain = pool::row_grain(n, 8);
+        let chunks = pool::parallel_map_chunks(n, grain, |lo, hi| {
+            lines[lo..hi]
+                .iter()
+                .map(|l| self.run_line(l.as_ref()))
+                .collect::<Vec<String>>()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+fn err(message: impl Into<String>) -> Response {
+    Response::Error {
+        error: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
+
+    fn engine(config: EngineConfig) -> QueryEngine {
+        let mut rng = seeded_rng(11);
+        let z = gaussian_matrix(120, 8, 1.0, &mut rng);
+        let p = z.softmax_rows();
+        QueryEngine::new(EmbeddingStore::new(z, Some(p)), config)
+    }
+
+    #[test]
+    fn top_k_round_trip() {
+        let e = engine(EngineConfig::default());
+        let out = e.run_line(r#"{"op":"top_k","node":7,"k":3}"#);
+        let resp: Response = serde_json::from_str(&out).unwrap();
+        match resp {
+            Response::Neighbors {
+                neighbors,
+                metric,
+                exact,
+            } => {
+                assert_eq!(neighbors.len(), 3);
+                assert_eq!(metric, "cosine");
+                assert!(exact);
+                assert!(neighbors.iter().all(|n| n.node != 7));
+                // Engine answer equals a direct store call.
+                let direct = e.store().top_k_node(7, 3, Metric::Cosine);
+                for (nb, (id, score)) in neighbors.iter().zip(direct) {
+                    assert_eq!(nb.node, id);
+                    assert_eq!(nb.score, score);
+                }
+            }
+            other => panic!("expected neighbors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_vector_and_metric_override() {
+        let e = engine(EngineConfig::default());
+        let v: Vec<f64> = e.store().vector_of(0).to_vec();
+        let line = format!(
+            r#"{{"op":"top_k","vector":{},"k":2,"metric":"dot"}}"#,
+            serde_json::to_string(&v).unwrap()
+        );
+        let resp: Response = serde_json::from_str(&e.run_line(&line)).unwrap();
+        match resp {
+            Response::Neighbors { metric, .. } => assert_eq!(metric, "dot"),
+            other => panic!("expected neighbors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_yield_error_responses_in_place() {
+        let e = engine(EngineConfig::default());
+        let lines = [
+            r#"{"op":"top_k","node":7}"#,
+            "not json at all",
+            r#"{"op":"unknown_op"}"#,
+            r#"{"op":"top_k"}"#,
+            r#"{"op":"top_k","node":7,"vector":[1.0]}"#,
+            r#"{"op":"top_k","node":100000}"#,
+            r#"{"op":"top_k","vector":[1.0,2.0]}"#,
+            r#"{"op":"top_k","node":1,"metric":"hamming"}"#,
+            r#"{"op":"community","node":99999}"#,
+            r#"{"op":"edge_score","u":0,"v":99999}"#,
+            "",
+        ];
+        let out = e.run_batch(&lines);
+        assert_eq!(out.len(), lines.len());
+        // First line is fine, everything after is a structured error.
+        assert!(out[0].contains("\"kind\":\"neighbors\""));
+        for (line, resp) in lines.iter().zip(&out).skip(1) {
+            assert!(
+                resp.contains("\"kind\":\"error\""),
+                "line {line:?} gave {resp}"
+            );
+        }
+    }
+
+    #[test]
+    fn community_and_edge_score_queries() {
+        let e = engine(EngineConfig::default());
+        let resp: Response =
+            serde_json::from_str(&e.run_line(r#"{"op":"community","node":4}"#)).unwrap();
+        match resp {
+            Response::Community {
+                node, membership, ..
+            } => {
+                assert_eq!(node, 4);
+                assert!((membership.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            }
+            other => panic!("expected community, got {other:?}"),
+        }
+
+        let resp: Response =
+            serde_json::from_str(&e.run_line(r#"{"op":"edge_score","u":3,"v":9}"#)).unwrap();
+        match resp {
+            Response::EdgeScore { score, .. } => {
+                assert_eq!(
+                    score,
+                    aneci_eval::linkpred::edge_score(e.store().embedding(), 3, 9),
+                    "serve-time edge score must equal the eval scorer"
+                );
+            }
+            other => panic!("expected edge_score, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ann_engine_answers_and_reports_inexact_path() {
+        let e = engine(EngineConfig {
+            use_ann: true,
+            ..EngineConfig::default()
+        });
+        let resp: Response =
+            serde_json::from_str(&e.run_line(r#"{"op":"top_k","node":7,"k":5}"#)).unwrap();
+        match resp {
+            Response::Neighbors {
+                neighbors, exact, ..
+            } => {
+                assert_eq!(neighbors.len(), 5);
+                assert!(!exact, "ann engine should use the index by default");
+            }
+            other => panic!("expected neighbors, got {other:?}"),
+        }
+        // Per-query opt-out returns to the exact path.
+        let resp: Response =
+            serde_json::from_str(&e.run_line(r#"{"op":"top_k","node":7,"k":5,"ann":false}"#))
+                .unwrap();
+        match resp {
+            Response::Neighbors { exact, .. } => assert!(exact),
+            other => panic!("expected neighbors, got {other:?}"),
+        }
+        // Metric the index wasn't built for → exact fallback, not wrong data.
+        let resp: Response =
+            serde_json::from_str(&e.run_line(r#"{"op":"top_k","node":7,"k":5,"metric":"dot"}"#))
+                .unwrap();
+        match resp {
+            Response::Neighbors { exact, metric, .. } => {
+                assert!(exact);
+                assert_eq!(metric, "dot");
+            }
+            other => panic!("expected neighbors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_serves_identical_bytes_and_counts_hits() {
+        let e = engine(EngineConfig {
+            cache_capacity: 16,
+            ..EngineConfig::default()
+        });
+        let line = r#"{"op":"top_k","node":3,"k":4}"#;
+        let first = e.run_line(line);
+        let second = e.run_line(line);
+        assert_eq!(first, second);
+        let (hits, misses) = e.cache_stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+        // Cached and uncached engines agree byte-for-byte.
+        let plain = engine(EngineConfig::default());
+        assert_eq!(plain.run_line(line), first);
+    }
+
+    #[test]
+    fn batch_output_bit_identical_across_thread_counts() {
+        use aneci_linalg::pool;
+        pool::force_pool();
+        let e = engine(EngineConfig::default());
+        let lines: Vec<String> = (0..200)
+            .map(|i| match i % 3 {
+                0 => format!(r#"{{"op":"top_k","node":{},"k":5}}"#, i % 120),
+                1 => format!(r#"{{"op":"community","node":{}}}"#, i % 120),
+                _ => format!(
+                    r#"{{"op":"edge_score","u":{},"v":{}}}"#,
+                    i % 120,
+                    (i * 7) % 120
+                ),
+            })
+            .collect();
+
+        let multi = e.run_batch(&lines);
+        pool::set_num_threads(1);
+        let single = e.run_batch(&lines);
+        pool::set_num_threads(4);
+
+        assert_eq!(multi, single);
+        // Batch equals line-by-line serial execution, in order.
+        for (line, resp) in lines.iter().zip(&multi) {
+            assert_eq!(&e.run_line(line), resp);
+        }
+    }
+}

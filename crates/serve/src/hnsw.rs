@@ -1,0 +1,444 @@
+//! A from-scratch HNSW (Hierarchical Navigable Small World) approximate
+//! nearest-neighbor index over the embedding matrix.
+//!
+//! Implements the essentials of Malkov & Yashunin (2016) on top of the
+//! `aneci-linalg` vector kernels:
+//!
+//! * geometric level assignment with multiplier `1 / ln(M)`;
+//! * greedy descent through the upper layers, beam search (`ef`) at layer 0;
+//! * the *select-neighbors heuristic* (Algorithm 4) with
+//!   `keep_pruned_connections`, which keeps the graph navigable on
+//!   clustered data;
+//! * `M` links per node on upper layers, `2M` on layer 0.
+//!
+//! Everything is deterministic: the level RNG is seeded, insertion order is
+//! node order, and all orderings use `f64::total_cmp` with ascending-id
+//! tie-breaks. Building the same matrix with the same config twice yields
+//! byte-identical link structure and therefore identical search results.
+//!
+//! For cosine similarity the index stores L2-normalized copies of the rows
+//! (zero rows stay zero, matching the `vector::cosine` convention that the
+//! similarity involving a zero vector is 0), so search reduces to
+//! maximum-inner-product over normalized vectors.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use aneci_linalg::rng::seeded_rng;
+use aneci_linalg::vector;
+use aneci_linalg::DenseMatrix;
+use rand::Rng;
+
+use crate::store::{Metric, Scored};
+
+/// Construction parameters for [`HnswIndex`].
+#[derive(Clone, Debug)]
+pub struct HnswConfig {
+    /// Max links per node on layers ≥ 1 (layer 0 allows `2 * m`).
+    pub m: usize,
+    /// Beam width while inserting.
+    pub ef_construction: usize,
+    /// Seed for the level-assignment RNG.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// Max-heap entry ordered by similarity, ascending-id tie-break (lower id
+/// wins a tie, so heap order — and thus the index — is fully deterministic).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Cand {
+    sim: f64,
+    id: u32,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim.total_cmp(&other.sim).then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The built index.
+pub struct HnswIndex {
+    /// Row-per-node vectors; L2-normalized copies when `metric == Cosine`.
+    vectors: DenseMatrix,
+    metric: Metric,
+    /// `links[node][layer]` — neighbor ids of `node` at `layer`
+    /// (present for `layer <= level(node)`).
+    links: Vec<Vec<Vec<u32>>>,
+    entry: u32,
+    max_layer: usize,
+    m: usize,
+}
+
+impl HnswIndex {
+    /// Builds the index over `embedding` (one node per row), inserting nodes
+    /// in row order.
+    pub fn build(embedding: &DenseMatrix, metric: Metric, config: &HnswConfig) -> Self {
+        assert!(config.m >= 2, "HNSW needs at least 2 links per node");
+        assert!(config.ef_construction >= 1);
+        let mut vectors = embedding.clone();
+        if metric == Metric::Cosine {
+            for r in 0..vectors.rows() {
+                vector::normalize_inplace(vectors.row_mut(r));
+            }
+        }
+        let n = vectors.rows();
+        let mut index = Self {
+            vectors,
+            metric,
+            links: Vec::with_capacity(n),
+            entry: 0,
+            max_layer: 0,
+            m: config.m,
+        };
+
+        let level_mult = 1.0 / (config.m as f64).ln();
+        let mut rng = seeded_rng(config.seed);
+        for node in 0..n {
+            // u ∈ (0, 1]: never take ln(0).
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            let level = ((-u.ln() * level_mult).floor() as usize).min(16);
+            index.insert(node as u32, level, config.ef_construction);
+        }
+        index
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The metric the index was built for.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Similarity between a (pre-normalized, for cosine) query and a stored
+    /// node. Both metrics reduce to a dot product here.
+    #[inline]
+    fn sim_to(&self, q: &[f64], node: u32) -> f64 {
+        vector::dot(q, self.vectors.row(node as usize))
+    }
+
+    #[inline]
+    fn sim_between(&self, a: u32, b: u32) -> f64 {
+        vector::dot(self.vectors.row(a as usize), self.vectors.row(b as usize))
+    }
+
+    fn max_links(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.m * 2
+        } else {
+            self.m
+        }
+    }
+
+    /// Inserts `node` with top level `level` (its vector is already in
+    /// `self.vectors`).
+    fn insert(&mut self, node: u32, level: usize, ef_construction: usize) {
+        self.links.push(vec![Vec::new(); level + 1]);
+        if self.links.len() == 1 {
+            self.entry = node;
+            self.max_layer = level;
+            return;
+        }
+
+        let q = self.vectors.row(node as usize).to_vec();
+        let mut ep = vec![Cand {
+            sim: self.sim_to(&q, self.entry),
+            id: self.entry,
+        }];
+
+        // Greedy descent through layers above the node's top level.
+        let mut layer = self.max_layer;
+        while layer > level {
+            ep = self.search_layer(&q, &ep, 1, layer);
+            layer -= 1;
+        }
+
+        // Insert with beam search from min(level, max_layer) down to 0.
+        let mut l = level.min(self.max_layer);
+        loop {
+            let found = self.search_layer(&q, &ep, ef_construction, l);
+            let chosen = self.select_neighbors(&found, self.m);
+            for &nb in &chosen {
+                self.links[node as usize][l].push(nb);
+                self.links[nb as usize][l].push(node);
+                let cap = self.max_links(l);
+                if self.links[nb as usize][l].len() > cap {
+                    self.shrink_links(nb, l, cap);
+                }
+            }
+            ep = found;
+            if l == 0 {
+                break;
+            }
+            l -= 1;
+        }
+
+        if level > self.max_layer {
+            self.entry = node;
+            self.max_layer = level;
+        }
+    }
+
+    /// Re-selects `node`'s links at `layer` down to `cap` with the
+    /// diversity heuristic.
+    fn shrink_links(&mut self, node: u32, layer: usize, cap: usize) {
+        let mut cands: Vec<Cand> = self.links[node as usize][layer]
+            .iter()
+            .map(|&nb| Cand {
+                sim: self.sim_between(node, nb),
+                id: nb,
+            })
+            .collect();
+        cands.sort_unstable_by(|a, b| b.cmp(a));
+        let kept = self.select_neighbors(&cands, cap);
+        self.links[node as usize][layer] = kept;
+    }
+
+    /// Algorithm 4: pick up to `m` diverse neighbors from `cands` (sorted by
+    /// descending similarity to the query). A candidate is accepted only if
+    /// it is closer to the query than to every already-accepted neighbor;
+    /// leftover slots are refilled with the best rejected candidates
+    /// (`keep_pruned_connections`).
+    fn select_neighbors(&self, cands: &[Cand], m: usize) -> Vec<u32> {
+        let mut selected: Vec<u32> = Vec::with_capacity(m);
+        let mut pruned: Vec<u32> = Vec::new();
+        for c in cands {
+            if selected.len() >= m {
+                break;
+            }
+            let diverse = selected.iter().all(|&s| self.sim_between(c.id, s) < c.sim);
+            if diverse {
+                selected.push(c.id);
+            } else {
+                pruned.push(c.id);
+            }
+        }
+        for id in pruned {
+            if selected.len() >= m {
+                break;
+            }
+            selected.push(id);
+        }
+        selected
+    }
+
+    /// Beam search at one layer: returns up to `ef` best nodes, sorted by
+    /// descending similarity (ascending-id tie-breaks).
+    fn search_layer(&self, q: &[f64], entries: &[Cand], ef: usize, layer: usize) -> Vec<Cand> {
+        let mut visited = vec![false; self.links.len()];
+        // Max-heap of frontier nodes; min-heap (via Reverse) of best-so-far.
+        let mut frontier: BinaryHeap<Cand> = BinaryHeap::new();
+        let mut best: BinaryHeap<std::cmp::Reverse<Cand>> = BinaryHeap::new();
+        for &e in entries {
+            if !visited[e.id as usize] {
+                visited[e.id as usize] = true;
+                frontier.push(e);
+                best.push(std::cmp::Reverse(e));
+                if best.len() > ef {
+                    best.pop();
+                }
+            }
+        }
+
+        while let Some(c) = frontier.pop() {
+            let worst = best.peek().map(|r| r.0.sim).unwrap_or(f64::NEG_INFINITY);
+            if best.len() >= ef && c.sim < worst {
+                break;
+            }
+            let neighbors = &self.links[c.id as usize];
+            if layer >= neighbors.len() {
+                continue;
+            }
+            for &nb in &neighbors[layer] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                let sim = self.sim_to(q, nb);
+                let worst = best.peek().map(|r| r.0.sim).unwrap_or(f64::NEG_INFINITY);
+                if best.len() < ef || sim > worst {
+                    let cand = Cand { sim, id: nb };
+                    frontier.push(cand);
+                    best.push(std::cmp::Reverse(cand));
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+
+        let mut out: Vec<Cand> = best.into_iter().map(|r| r.0).collect();
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Approximate top-`k` search. `ef` is the layer-0 beam width (clamped
+    /// up to `k`); larger `ef` trades latency for recall. `exclude` drops
+    /// one id from the result — used for node self-queries.
+    pub fn search(
+        &self,
+        query: &[f64],
+        k: usize,
+        ef: usize,
+        exclude: Option<usize>,
+    ) -> Vec<Scored> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        assert_eq!(query.len(), self.vectors.cols(), "query dimension mismatch");
+        let mut q = query.to_vec();
+        if self.metric == Metric::Cosine {
+            vector::normalize_inplace(&mut q);
+        }
+
+        let mut ep = vec![Cand {
+            sim: self.sim_to(&q, self.entry),
+            id: self.entry,
+        }];
+        for layer in (1..=self.max_layer).rev() {
+            ep = self.search_layer(&q, &ep, 1, layer);
+        }
+        // One extra beam slot covers a possible excluded id.
+        let beam = ef.max(k) + usize::from(exclude.is_some());
+        let found = self.search_layer(&q, &ep, beam, 0);
+        found
+            .into_iter()
+            .filter(|c| Some(c.id as usize) != exclude)
+            .take(k)
+            .map(|c| (c.id as usize, c.sim))
+            .collect()
+    }
+}
+
+/// Fraction of `exact` ids recovered by `approx` — the recall@k both the
+/// tests and `bench_report --serve` report.
+pub fn recall_at_k(exact: &[Scored], approx: &[Scored]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hits = exact
+        .iter()
+        .filter(|(id, _)| approx.iter().any(|(a, _)| a == id))
+        .count();
+    hits as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::EmbeddingStore;
+    use aneci_linalg::rng::{seeded_rng, standard_normal};
+
+    /// A clustered point cloud: `per_cluster` points around each of
+    /// `centers` well-separated centroids — the regime ANN indexes exist for.
+    fn clustered(centers: usize, per_cluster: usize, d: usize, seed: u64) -> DenseMatrix {
+        let mut rng = seeded_rng(seed);
+        let centroids: Vec<Vec<f64>> = (0..centers)
+            .map(|_| (0..d).map(|_| 4.0 * standard_normal(&mut rng)).collect())
+            .collect();
+        DenseMatrix::from_fn(centers * per_cluster, d, |r, c| {
+            centroids[r / per_cluster][c] + 0.5 * standard_normal(&mut rng)
+        })
+    }
+
+    #[test]
+    fn high_recall_on_clustered_data() {
+        let data = clustered(8, 50, 16, 1);
+        let store = EmbeddingStore::new(data.clone(), None);
+        let index = HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default());
+
+        let mut total = 0.0;
+        let queries = 40;
+        for qi in 0..queries {
+            let node = qi * 9 % data.rows();
+            let exact = store.top_k_node(node, 10, Metric::Cosine);
+            let approx = index.search(data.row(node), 10, 64, Some(node));
+            total += recall_at_k(&exact, &approx);
+        }
+        let recall = total / queries as f64;
+        assert!(recall >= 0.95, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn deterministic_build_and_search() {
+        let data = clustered(4, 30, 8, 2);
+        let cfg = HnswConfig::default();
+        let a = HnswIndex::build(&data, Metric::Cosine, &cfg);
+        let b = HnswIndex::build(&data, Metric::Cosine, &cfg);
+        assert_eq!(a.links, b.links, "same seed must give identical graphs");
+        assert_eq!(a.entry, b.entry);
+        for node in [0usize, 17, 63, 119] {
+            assert_eq!(
+                a.search(data.row(node), 5, 32, Some(node)),
+                b.search(data.row(node), 5, 32, Some(node))
+            );
+        }
+    }
+
+    #[test]
+    fn dot_metric_and_scores_match_store_scoring() {
+        let data = clustered(3, 20, 6, 3);
+        let store = EmbeddingStore::new(data.clone(), None);
+        let index = HnswIndex::build(&data, Metric::Dot, &HnswConfig::default());
+        let hits = index.search(data.row(0), 5, 60, None);
+        assert!(!hits.is_empty());
+        // Every reported dot-product score is exact (ANN only approximates
+        // *which* neighbors, never their scores).
+        for &(id, score) in &hits {
+            let exact = aneci_linalg::vector::dot(data.row(0), data.row(id));
+            assert_eq!(score, exact);
+        }
+        // With a generous beam on a tiny set, top-1 matches the exact path.
+        let exact_top = store.top_k(data.row(0), 1, Metric::Dot, None);
+        assert_eq!(hits[0].0, exact_top[0].0);
+    }
+
+    #[test]
+    fn tiny_and_degenerate_indexes() {
+        let one = DenseMatrix::from_vec(1, 3, vec![1.0, 0.0, 0.0]);
+        let idx = HnswIndex::build(&one, Metric::Cosine, &HnswConfig::default());
+        assert_eq!(idx.len(), 1);
+        let hits = idx.search(&[1.0, 0.0, 0.0], 5, 10, None);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 0);
+        assert!(idx.search(&[1.0, 0.0, 0.0], 5, 10, Some(0)).is_empty());
+
+        let empty = DenseMatrix::zeros(0, 3);
+        let idx = HnswIndex::build(&empty, Metric::Cosine, &HnswConfig::default());
+        assert!(idx.is_empty());
+        assert!(idx.search(&[0.0; 3], 5, 10, None).is_empty());
+    }
+
+    #[test]
+    fn recall_helper_counts_overlap() {
+        let exact = vec![(1usize, 0.9), (2, 0.8), (3, 0.7)];
+        let approx = vec![(1usize, 0.9), (3, 0.7), (9, 0.1)];
+        assert!((recall_at_k(&exact, &approx) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at_k(&[], &approx), 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # aneci-serve
+//!
+//! The serving subsystem: everything needed to take a trained AnECI model
+//! from a `.aneci` checkpoint to answering embedding queries online.
+//!
+//! * [`store`] — [`store::EmbeddingStore`]: exact (brute-force, pooled)
+//!   top-k cosine/dot neighbors, community lookups, and edge scores that
+//!   reuse the `aneci-eval` link-prediction scorer verbatim;
+//! * [`hnsw`] — [`hnsw::HnswIndex`]: a from-scratch, deterministic HNSW
+//!   approximate-nearest-neighbor index over the embedding matrix;
+//! * [`cache`] — [`cache::LruCache`]: O(1) LRU response cache with hit/miss
+//!   counters;
+//! * [`engine`] — [`engine::QueryEngine`]: JSONL in, JSONL out, batched
+//!   concurrently on the persistent pool with deterministic output order.
+//!
+//! The `aneci_serve` binary (`src/bin/aneci_serve.rs`) wires these together
+//! behind a CLI: load a checkpoint, read queries from a file or stdin,
+//! write responses to stdout and serving stats to stderr.
+//!
+//! ```no_run
+//! use aneci_core::model::AneciModel;
+//! use aneci_serve::engine::{EngineConfig, QueryEngine};
+//! use aneci_serve::store::EmbeddingStore;
+//!
+//! let ckpt = AneciModel::load_checkpoint("model.aneci").unwrap();
+//! let engine = QueryEngine::new(EmbeddingStore::from_checkpoint(&ckpt), EngineConfig::default());
+//! println!("{}", engine.run_line(r#"{"op":"top_k","node":0,"k":5}"#));
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod hnsw;
+pub mod store;
+
+pub use cache::LruCache;
+pub use engine::{EngineConfig, Neighbor, Query, QueryEngine, Response};
+pub use hnsw::{recall_at_k, HnswConfig, HnswIndex};
+pub use store::{EmbeddingStore, Metric, Scored};

@@ -1,0 +1,328 @@
+//! In-memory embedding store with exact (brute-force) top-k queries.
+//!
+//! The store owns the checkpointed embedding matrix plus the soft community
+//! membership, caches per-row L2 norms, and answers:
+//!
+//! * **top-k nearest neighbors** of a node or a free query vector under
+//!   cosine or dot-product similarity — brute force over all rows, chunked
+//!   across the persistent pool (`aneci_linalg::pool`), with output that is
+//!   bit-identical for any thread count (fixed chunk decomposition, full
+//!   deterministic merge);
+//! * **community** lookups (argmax membership + the full soft row);
+//! * **edge scores** through [`aneci_eval::linkpred::edge_score`] — the same
+//!   function the evaluation harness uses, so a link-prediction score served
+//!   online always equals the offline one.
+
+use aneci_core::checkpoint::Checkpoint;
+use aneci_linalg::pool;
+use aneci_linalg::vector;
+use aneci_linalg::DenseMatrix;
+
+/// Similarity metric for neighbor queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Cosine similarity (dot of L2-normalized vectors).
+    Cosine,
+    /// Raw inner product.
+    Dot,
+}
+
+impl Metric {
+    /// Parses `"cosine"` / `"dot"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "cosine" | "cos" => Some(Metric::Cosine),
+            "dot" | "inner" | "ip" => Some(Metric::Dot),
+            _ => None,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Cosine => "cosine",
+            Metric::Dot => "dot",
+        }
+    }
+}
+
+/// A scored neighbor.
+pub type Scored = (usize, f64);
+
+/// The in-memory serving store for one checkpointed model.
+pub struct EmbeddingStore {
+    embedding: DenseMatrix,
+    /// Cached per-row L2 norms (for cosine scoring).
+    norms: Vec<f64>,
+    membership: Option<DenseMatrix>,
+    /// Cached argmax of each membership row.
+    communities: Option<Vec<usize>>,
+}
+
+impl EmbeddingStore {
+    /// Builds a store from an embedding matrix and optional membership.
+    pub fn new(embedding: DenseMatrix, membership: Option<DenseMatrix>) -> Self {
+        if let Some(m) = &membership {
+            assert_eq!(
+                m.rows(),
+                embedding.rows(),
+                "membership must cover every embedded node"
+            );
+        }
+        let norms = embedding.rows_iter().map(vector::norm2).collect();
+        let communities = membership.as_ref().map(|m| m.argmax_rows());
+        Self {
+            embedding,
+            norms,
+            membership,
+            communities,
+        }
+    }
+
+    /// Builds a store straight from a loaded checkpoint.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Self {
+        Self::new(ckpt.embedding.clone(), Some(ckpt.membership.clone()))
+    }
+
+    /// Number of embedded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.embedding.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.embedding.cols()
+    }
+
+    /// The stored embedding matrix.
+    pub fn embedding(&self) -> &DenseMatrix {
+        &self.embedding
+    }
+
+    /// The embedding row of `node`.
+    pub fn vector_of(&self, node: usize) -> &[f64] {
+        self.embedding.row(node)
+    }
+
+    /// Similarity between a query vector and a stored row.
+    #[inline]
+    fn score_row(&self, query: &[f64], query_norm: f64, row: usize, metric: Metric) -> f64 {
+        let d = vector::dot(query, self.embedding.row(row));
+        match metric {
+            Metric::Dot => d,
+            Metric::Cosine => vector::cosine_with_norms(d, query_norm, self.norms[row]),
+        }
+    }
+
+    /// Exact top-`k` most similar nodes to a free query vector, brute force
+    /// over every row. `exclude` removes one node id (used for node queries,
+    /// which should not return the node itself). Results are sorted by
+    /// descending score with ascending-id tie-breaks, so the answer is fully
+    /// deterministic — across runs *and* across pool sizes.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != self.dim()`.
+    pub fn top_k(
+        &self,
+        query: &[f64],
+        k: usize,
+        metric: Metric,
+        exclude: Option<usize>,
+    ) -> Vec<Scored> {
+        assert_eq!(query.len(), self.dim(), "query dimension mismatch");
+        let n = self.num_nodes();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let keep = k.min(n);
+        let query_norm = vector::norm2(query);
+
+        // One extra candidate per chunk covers the excluded id.
+        let per_chunk = keep + 1;
+        let grain = pool::row_grain(n, 64);
+        let chunks = if pool::should_parallelize(n.saturating_mul(self.dim())) {
+            pool::parallel_map_chunks(n, grain, |lo, hi| {
+                self.top_of_range(query, query_norm, metric, lo, hi, per_chunk)
+            })
+        } else {
+            vec![self.top_of_range(query, query_norm, metric, 0, n, per_chunk)]
+        };
+
+        // Deterministic merge: concatenate chunk candidates (chunk order is
+        // fixed by (n, grain)), then a full sort with id tie-breaks.
+        let mut merged: Vec<Scored> = chunks.into_iter().flatten().collect();
+        if let Some(ex) = exclude {
+            merged.retain(|&(id, _)| id != ex);
+        }
+        merged.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(keep.min(merged.len()));
+        merged
+    }
+
+    /// Top candidates within one row range (the per-chunk kernel).
+    fn top_of_range(
+        &self,
+        query: &[f64],
+        query_norm: f64,
+        metric: Metric,
+        lo: usize,
+        hi: usize,
+        keep: usize,
+    ) -> Vec<Scored> {
+        let mut scored: Vec<Scored> = (lo..hi)
+            .map(|r| (r, self.score_row(query, query_norm, r, metric)))
+            .collect();
+        scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(keep.min(scored.len()));
+        scored
+    }
+
+    /// Exact top-`k` neighbors of a stored node (the node itself excluded).
+    pub fn top_k_node(&self, node: usize, k: usize, metric: Metric) -> Vec<Scored> {
+        let query = self.embedding.row(node).to_vec();
+        self.top_k(&query, k, metric, Some(node))
+    }
+
+    /// Hard community of `node` (argmax membership), when membership is
+    /// available.
+    pub fn community(&self, node: usize) -> Option<usize> {
+        self.communities.as_ref().map(|c| c[node])
+    }
+
+    /// The soft membership row of `node`, when available.
+    pub fn membership_row(&self, node: usize) -> Option<&[f64]> {
+        self.membership.as_ref().map(|m| m.row(node))
+    }
+
+    /// Link-prediction score `σ(z_u · z_v)` — **the** eval scorer
+    /// ([`aneci_eval::linkpred::edge_score`]), reused verbatim so serve-time
+    /// and eval-time scores are identical.
+    pub fn edge_score(&self, u: usize, v: usize) -> f64 {
+        aneci_eval::linkpred::edge_score(&self.embedding, u, v)
+    }
+
+    /// Batched edge scores through the pooled eval kernel.
+    pub fn edge_scores(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
+        aneci_eval::linkpred::edge_scores(&self.embedding, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
+
+    fn store(n: usize, d: usize, seed: u64) -> EmbeddingStore {
+        let mut rng = seeded_rng(seed);
+        let z = gaussian_matrix(n, d, 1.0, &mut rng);
+        let p = z.softmax_rows();
+        EmbeddingStore::new(z, Some(p))
+    }
+
+    /// Naive reference: score every row serially and fully sort.
+    fn naive_top_k(
+        s: &EmbeddingStore,
+        query: &[f64],
+        k: usize,
+        metric: Metric,
+        exclude: Option<usize>,
+    ) -> Vec<Scored> {
+        let qn = vector::norm2(query);
+        let mut all: Vec<Scored> = (0..s.num_nodes())
+            .filter(|&r| Some(r) != exclude)
+            .map(|r| (r, s.score_row(query, qn, r, metric)))
+            .collect();
+        all.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k.min(all.len()));
+        all
+    }
+
+    #[test]
+    fn top_k_matches_naive_reference() {
+        let s = store(200, 8, 1);
+        let query = s.vector_of(7).to_vec();
+        for &metric in &[Metric::Cosine, Metric::Dot] {
+            for &k in &[1usize, 5, 10, 200, 500] {
+                assert_eq!(
+                    s.top_k(&query, k, metric, None),
+                    naive_top_k(&s, &query, k, metric, None),
+                    "metric {metric:?} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_query_excludes_self_and_cosine_self_is_top_without_exclusion() {
+        let s = store(50, 6, 2);
+        let hits = s.top_k_node(3, 10, Metric::Cosine);
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|&(id, _)| id != 3));
+        // Without exclusion the node itself wins at cosine similarity 1.
+        let with_self = s.top_k(s.vector_of(3), 1, Metric::Cosine, None);
+        assert_eq!(with_self[0].0, 3);
+        assert!((with_self[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_bit_identical_across_thread_counts() {
+        use aneci_linalg::pool;
+        pool::force_pool();
+        let s = store(500, 16, 3);
+        let query = s.vector_of(11).to_vec();
+
+        pool::set_par_threshold(1);
+        let pooled = s.top_k(&query, 25, Metric::Cosine, Some(11));
+        pool::set_num_threads(1);
+        let single = s.top_k(&query, 25, Metric::Cosine, Some(11));
+        pool::set_num_threads(4);
+
+        assert_eq!(pooled, single);
+    }
+
+    #[test]
+    fn community_and_membership_lookups() {
+        let s = store(30, 4, 4);
+        let row = s.membership_row(5).unwrap();
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let c = s.community(5).unwrap();
+        // argmax of the row really is the reported community.
+        let best = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(c, best);
+
+        let bare = EmbeddingStore::new(s.embedding.clone(), None);
+        assert_eq!(bare.community(5), None);
+        assert!(bare.membership_row(5).is_none());
+    }
+
+    #[test]
+    fn edge_score_parity_with_eval() {
+        let s = store(40, 8, 5);
+        for (u, v) in [(0usize, 1usize), (3, 17), (39, 0)] {
+            assert_eq!(
+                s.edge_score(u, v),
+                aneci_eval::linkpred::edge_score(s.embedding(), u, v)
+            );
+        }
+        let pairs = vec![(0, 1), (2, 3), (4, 5)];
+        let batch = s.edge_scores(&pairs);
+        for (score, &(u, v)) in batch.iter().zip(&pairs) {
+            assert_eq!(*score, s.edge_score(u, v));
+        }
+    }
+
+    #[test]
+    fn zero_and_degenerate_inputs() {
+        let s = store(10, 4, 6);
+        assert!(s.top_k(&[0.0; 4], 0, Metric::Cosine, None).is_empty());
+        // All-zero query: cosine defined as 0 everywhere; still returns ids.
+        let z = s.top_k(&[0.0; 4], 3, Metric::Cosine, None);
+        assert_eq!(z.len(), 3);
+        assert!(z.iter().all(|&(_, score)| score == 0.0));
+    }
+}

@@ -33,7 +33,14 @@ fn main() {
         let lv = louvain(&g, seed);
         let (q_lv, n_lv) = (modularity(&g, &lv), nmi(&lv, &truth));
 
-        let z = hope_embedding(&g, &HopeConfig { dim: k.max(4), seed, ..Default::default() });
+        let z = hope_embedding(
+            &g,
+            &HopeConfig {
+                dim: k.max(4),
+                seed,
+                ..Default::default()
+            },
+        );
         let km = kmeans_best_of(&z, k, 100, 5, seed).assignments;
         let (q_km, n_km) = (modularity(&g, &km), nmi(&km, &truth));
 
@@ -48,7 +55,14 @@ fn main() {
     }
 
     // Show what the generator actually produced at the hardest setting.
-    let g = generate_lfr(&LfrConfig { num_nodes: 400, mu: 0.5, ..Default::default() }, seed);
+    let g = generate_lfr(
+        &LfrConfig {
+            num_nodes: 400,
+            mu: 0.5,
+            ..Default::default()
+        },
+        seed,
+    );
     let s = graph_stats(&g);
     println!(
         "\nμ=0.5 graph: {} nodes, {} edges, mean degree {:.1}, max degree {}, \

@@ -55,4 +55,22 @@ fn main() {
             graph.degree(*node)
         );
     }
+
+    // 5. Persist the trained model as a `.aneci` checkpoint and reload it.
+    //    The round trip is bit-exact; `aneci_serve` can answer queries from
+    //    this file (see the serve_queries example).
+    let path = std::env::temp_dir().join("quickstart.aneci");
+    model.save_checkpoint(&path).expect("saving checkpoint");
+    let reloaded = aneci::core::AneciModel::load_checkpoint(&path).expect("loading checkpoint");
+    assert_eq!(
+        reloaded,
+        model.checkpoint().unwrap(),
+        "checkpoint round trip must be bit-exact"
+    );
+    println!(
+        "checkpoint: saved + reloaded {} nodes x {} dims bit-exactly at {}",
+        reloaded.num_nodes(),
+        reloaded.embed_dim(),
+        path.display()
+    );
 }

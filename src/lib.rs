@@ -13,6 +13,7 @@
 //! | [`baselines`] | DeepWalk, LINE, GAE/VGAE, DGI, GCN, Dominant, spectral, Louvain |
 //! | [`attacks`] | random / FGA / NETTACK-style attacks, outlier seeding |
 //! | [`eval`] | metrics, logistic regression, k-means++, isolation forest, t-SNE |
+//! | [`serve`] | `.aneci` checkpoints, exact + HNSW ANN queries, JSONL engine |
 //!
 //! ## Quickstart
 //!
@@ -34,3 +35,4 @@ pub use aneci_core as core;
 pub use aneci_eval as eval;
 pub use aneci_graph as graph;
 pub use aneci_linalg as linalg;
+pub use aneci_serve as serve;

@@ -5,7 +5,9 @@
 use aneci::attacks::random_attack;
 use aneci::core::{AneciConfig, AneciModel, StopStrategy};
 use aneci::eval::logreg::evaluate_embedding;
-use aneci::graph::{generate_sbm, sample_split, AttributedGraph, FeatureKind, ProximityConfig, SbmConfig};
+use aneci::graph::{
+    generate_sbm, sample_split, AttributedGraph, FeatureKind, ProximityConfig, SbmConfig,
+};
 
 fn bench_graph(seed: u64) -> AttributedGraph {
     let config = SbmConfig {
@@ -17,7 +19,10 @@ fn bench_graph(seed: u64) -> AttributedGraph {
         feature_dim: 96,
         // Deliberately weak attribute signal: robustness must come from the
         // structure side, which is what the proximity order controls.
-        features: FeatureKind::BagOfWords { p_signal: 0.08, p_noise: 0.02 },
+        features: FeatureKind::BagOfWords {
+            p_signal: 0.08,
+            p_noise: 0.02,
+        },
     };
     let mut g = generate_sbm(&config, seed);
     let labels = g.labels.clone().unwrap();
@@ -88,13 +93,21 @@ fn rigidity_rises_toward_hard_partition() {
     let early = report.rigidity[2];
     let late = *report.rigidity.last().unwrap();
     assert!(early < 0.9, "rigidity starts soft: {early:.3}");
-    assert!(late > early + 0.1, "rigidity should rise: {early:.3} -> {late:.3}");
+    assert!(
+        late > early + 0.1,
+        "rigidity should rise: {early:.3} -> {late:.3}"
+    );
     assert!(late <= 1.0 + 1e-9);
     // And the modularity curve is (weakly) improving alongside.
     let q_early: f64 = report.modularity[..10].iter().sum::<f64>() / 10.0;
-    let q_late: f64 =
-        report.modularity[report.modularity.len() - 10..].iter().sum::<f64>() / 10.0;
-    assert!(q_late > q_early, "Q̃ should rise: {q_early:.4} -> {q_late:.4}");
+    let q_late: f64 = report.modularity[report.modularity.len() - 10..]
+        .iter()
+        .sum::<f64>()
+        / 10.0;
+    assert!(
+        q_late > q_early,
+        "Q̃ should rise: {q_early:.4} -> {q_late:.4}"
+    );
 }
 
 /// The trivial all-one-community membership scores exactly zero generalized
@@ -103,7 +116,11 @@ fn rigidity_rises_toward_hard_partition() {
 #[test]
 fn trivial_partition_scores_zero_modularity() {
     let g = bench_graph(7);
-    let config = AneciConfig { embed_dim: 3, seed: 7, ..Default::default() };
+    let config = AneciConfig {
+        embed_dim: 3,
+        seed: 7,
+        ..Default::default()
+    };
     let model = AneciModel::new(&g, &config);
     let n = g.num_nodes();
     let mut trivial = aneci::linalg::DenseMatrix::zeros(n, 3);
