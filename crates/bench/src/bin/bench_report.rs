@@ -5,9 +5,14 @@
 //! * `--serve` times the serving subsystem — exact vs HNSW top-k on a
 //!   Cora-scale embedding, plus end-to-end JSONL engine throughput — and
 //!   writes `BENCH_serve.json` (including the measured ANN recall@10).
+//! * `--obs` runs the quickstart training + a serve workload with telemetry
+//!   on and off, measures the telemetry overhead, and dumps the whole
+//!   `aneci-obs` registry (training spans, kernel counters, serve latency
+//!   percentiles) to `BENCH_obs.json`.
 //!
-//! Run with `cargo run --release -p aneci-bench --bin bench_report [-- --serve]`.
-//! `ANECI_NUM_THREADS` caps the pooled measurements as usual.
+//! Run with `cargo run --release -p aneci-bench --bin bench_report
+//! [-- --serve | -- --obs]`. `ANECI_NUM_THREADS` caps the pooled
+//! measurements as usual.
 
 use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
 use aneci_linalg::{par, pool, CsrMatrix, DenseMatrix};
@@ -63,8 +68,11 @@ fn random_csr(n: usize, deg: usize, seed: u64) -> CsrMatrix {
 }
 
 fn main() {
-    if std::env::args().skip(1).any(|a| a == "--serve") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--serve") {
         serve_bench();
+    } else if args.iter().any(|a| a == "--obs") {
+        obs_bench();
     } else {
         kernel_bench();
     }
@@ -362,4 +370,127 @@ fn serve_bench() {
         recall >= 0.95,
         "ANN recall@10 regressed below the 0.95 acceptance bar: {recall:.4}"
     );
+}
+
+/// Telemetry benchmark: A/B the always-on `aneci-obs` layer on the quickstart
+/// training loop, then dump the populated registry (training spans, kernel
+/// counters, serve latency percentiles) to `BENCH_obs.json`.
+fn obs_bench() {
+    use aneci_core::{train_aneci, AneciConfig};
+    use aneci_graph::karate_club;
+    use aneci_serve::engine::{EngineConfig, QueryEngine};
+    use aneci_serve::store::EmbeddingStore;
+
+    pool::force_pool();
+    let threads = pool::num_threads();
+    let graph = karate_club();
+    let config = AneciConfig::for_community_detection(2, 42);
+
+    // Warm-up: pool spin-up and allocator effects land outside the A/B.
+    black_box(train_aneci(&graph, &config).expect("training failed"));
+
+    let reps = 5;
+    aneci_obs::set_enabled(false);
+    let off_ns = time_best(reps, || {
+        black_box(train_aneci(&graph, &config).expect("training failed"));
+    });
+    aneci_obs::set_enabled(true);
+    let on_ns = time_best(reps, || {
+        black_box(train_aneci(&graph, &config).expect("training failed"));
+    });
+    let overhead_pct = (on_ns as f64 - off_ns as f64) / off_ns.max(1) as f64 * 100.0;
+
+    // Fresh registry for the dump: one instrumented train plus a serve batch
+    // so every layer's metrics are present. Re-baseline kernel_stats after
+    // the registry reset so its window stays consistent.
+    aneci_obs::global().reset();
+    aneci_linalg::kernel_stats::reset();
+    let (model, _) = train_aneci(&graph, &config).expect("training failed");
+    let ckpt = model.checkpoint().expect("trained model has an embedding");
+    let engine = QueryEngine::new(
+        EmbeddingStore::from_checkpoint(&ckpt),
+        EngineConfig {
+            use_ann: true,
+            ..EngineConfig::default()
+        },
+    );
+    let lines: Vec<String> = (0..graph.num_nodes())
+        .map(|q| format!(r#"{{"op":"top_k","node":{q},"k":5}}"#))
+        .collect();
+    black_box(engine.run_batch(&lines));
+
+    let snap = aneci_obs::global().snapshot();
+    let spans: Vec<serde_json::Value> = snap
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("span.") && name.ends_with("_ns"))
+        .map(|(name, h)| {
+            serde_json::json!({
+                "span": name,
+                "calls": h.count,
+                "mean_us": h.mean() / 1e3,
+                "p95_us": h.p95() / 1e3,
+            })
+        })
+        .collect();
+    let kernels: Vec<serde_json::Value> = aneci_linalg::kernel_stats::snapshot()
+        .iter()
+        .filter(|s| s.calls > 0)
+        .map(|s| {
+            serde_json::json!({
+                "kernel": s.kernel,
+                "calls": s.calls,
+                "flops": s.flops,
+                "wall_ns": s.wall_ns,
+            })
+        })
+        .collect();
+    let serve_lat = snap.histogram("serve.query_ns").map(|lat| {
+        serde_json::json!({
+            "queries": lat.count,
+            "p50_us": lat.p50() / 1e3,
+            "p95_us": lat.p95() / 1e3,
+            "p99_us": lat.p99() / 1e3,
+        })
+    });
+    let registry: serde_json::Value =
+        serde_json::from_str(&snap.to_json()).expect("registry snapshot is valid JSON");
+
+    let report = serde_json::json!({
+        "threads": threads,
+        "train_off_ms": off_ns as f64 / 1e6,
+        "train_on_ms": on_ns as f64 / 1e6,
+        "overhead_pct": overhead_pct,
+        "train_spans": spans,
+        "kernels": kernels,
+        "serve_latency": serve_lat,
+        "registry": registry,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .expect("failed to write BENCH_obs.json");
+
+    println!("wrote {path} ({threads} threads)");
+    println!(
+        "  train: telemetry off {:.2} ms, on {:.2} ms — overhead {overhead_pct:+.2}%",
+        off_ns as f64 / 1e6,
+        on_ns as f64 / 1e6,
+    );
+    for s in &spans {
+        println!(
+            "  {:<34} {:>6} calls   mean {:>9.1} us   p95 {:>9.1} us",
+            s["span"].as_str().unwrap_or("?"),
+            s["calls"],
+            s["mean_us"].as_f64().unwrap_or(0.0),
+            s["p95_us"].as_f64().unwrap_or(0.0),
+        );
+    }
+    if let Some(lat) = snap.histogram("serve.query_ns") {
+        println!(
+            "  serve: {} queries   p50 {:.1} us   p99 {:.1} us",
+            lat.count,
+            lat.p50() / 1e3,
+            lat.p99() / 1e3,
+        );
+    }
 }

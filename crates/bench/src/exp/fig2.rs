@@ -70,7 +70,7 @@ pub fn run(args: &ExpArgs) {
                     seed,
                     ..Default::default()
                 };
-                let (model, _) = train_aneci(&attack.graph, &config);
+                let (model, _) = train_aneci(&attack.graph, &config).unwrap();
                 scores[3].push(defense_score(
                     model.embedding(),
                     &clean_edges,

@@ -76,7 +76,7 @@ pub fn run(args: &ExpArgs) {
                     seed,
                     ..Default::default()
                 };
-                let (aneci, _) = train_aneci(&poisoned, &config);
+                let (aneci, _) = train_aneci(&poisoned, &config).unwrap();
                 per_method[4].push(classify(&poisoned, aneci.embedding(), seed));
 
                 let plus = aneci_plus(&poisoned, &config, &DenoiseConfig::default(), None);

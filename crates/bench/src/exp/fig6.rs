@@ -119,7 +119,7 @@ pub fn run(args: &ExpArgs) {
                     seed,
                     ..AneciConfig::for_anomaly_detection(k, 20, seed)
                 };
-                let (model, _) = train_aneci(&seeded.graph, &config);
+                let (model, _) = train_aneci(&seeded.graph, &config).unwrap();
                 let scores = combined_anomaly_scores(&model.membership(), &seeded.graph);
                 per_method[5].push(auc(&scores, truth));
             }

@@ -63,7 +63,7 @@ pub fn run(args: &ExpArgs) {
             per_method[3].push(modularity(&graph, &louvain(&graph, seed)));
 
             let config = AneciConfig::for_community_detection(k, seed);
-            let (model, _) = train_aneci(&graph, &config);
+            let (model, _) = train_aneci(&graph, &config).unwrap();
             per_method[4].push(modularity(&graph, &model.communities()));
         }
         let means: Vec<f64> = per_method.iter().map(|s| mean(s)).collect();

@@ -97,7 +97,7 @@ pub fn run(args: &ExpArgs) {
             seed: args.seed,
             ..Default::default()
         };
-        let ((_, report), t) = time_it(|| train_aneci(&graph, &aneci_cfg));
+        let ((_, report), t) = time_it(|| train_aneci(&graph, &aneci_cfg).unwrap());
         push("AnECI", t / report.epochs_run as f64, t);
     }
     print_table(

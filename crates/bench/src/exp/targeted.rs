@@ -109,7 +109,7 @@ fn victim_accuracies(poisoned: &AttributedGraph, targets: &[usize], seed: u64) -
         seed,
         ..Default::default()
     };
-    let (aneci, _) = train_aneci(poisoned, &config);
+    let (aneci, _) = train_aneci(poisoned, &config).unwrap();
     out.push(classify_subset(poisoned, aneci.embedding(), targets, seed));
 
     let plus = aneci_plus(poisoned, &config, &DenoiseConfig::default(), None);

@@ -178,7 +178,8 @@ impl Checkpoint {
                 TAG_CONFIG => {
                     let cfg: AneciConfig = serde_json::from_slice(payload)
                         .map_err(|e| CheckpointError::Format(format!("config section: {e}")))?;
-                    cfg.validate().map_err(CheckpointError::Format)?;
+                    cfg.validate()
+                        .map_err(|e| CheckpointError::Format(e.to_string()))?;
                     config = Some(cfg);
                 }
                 TAG_EMBEDDING => embedding = Some(decode_matrix(payload, "embedding")?),
@@ -396,7 +397,7 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        let (model, _) = train_aneci(&g, &cfg);
+        let (model, _) = train_aneci(&g, &cfg).unwrap();
         model.checkpoint().unwrap()
     }
 

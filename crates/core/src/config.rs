@@ -1,5 +1,15 @@
 //! AnECI hyperparameters.
+//!
+//! Two construction paths:
+//!
+//! * struct literal + `..Default::default()` — kept working for back-compat
+//!   (validation then happens when the config is first used);
+//! * [`AneciConfig::builder`] — fluent setters whose
+//!   [`build`](AneciConfigBuilder::build) runs [`AneciConfig::validate`] and
+//!   returns a typed [`AneciError`], so a bad parameter fails at
+//!   construction instead of deep inside `AneciModel::new`.
 
+use crate::error::AneciError;
 use aneci_graph::ProximityConfig;
 use serde::{Deserialize, Serialize};
 
@@ -94,13 +104,21 @@ impl Default for AneciConfig {
 }
 
 impl AneciConfig {
+    /// A fluent builder starting from [`AneciConfig::default`]. The
+    /// terminal [`build`](AneciConfigBuilder::build) validates, so invalid
+    /// parameter combinations surface as [`AneciError::Config`] at
+    /// construction time.
+    pub fn builder() -> AneciConfigBuilder {
+        AneciConfigBuilder::default()
+    }
+
     /// The paper's node-classification setup: 150 epochs, keep the best
     /// validation embedding.
     pub fn for_classification(seed: u64) -> Self {
-        Self {
-            seed,
-            ..Default::default()
-        }
+        Self::builder()
+            .seed(seed)
+            .build()
+            .expect("classification preset is valid")
     }
 
     /// The paper's community-detection setup: `h = num_communities`,
@@ -108,54 +126,164 @@ impl AneciConfig {
     /// mesoscopic structure and benefit from the longer horizon (Fig. 9a
     /// shows the same effect for robustness).
     pub fn for_community_detection(num_communities: usize, seed: u64) -> Self {
-        Self {
-            embed_dim: num_communities,
-            epochs: 600,
-            proximity: ProximityConfig::uniform(3),
-            stop: StopStrategy::FixedEpochs,
-            seed,
-            ..Default::default()
-        }
+        Self::builder()
+            .embed_dim(num_communities)
+            .epochs(600)
+            .proximity(ProximityConfig::uniform(3))
+            .stop(StopStrategy::FixedEpochs)
+            .seed(seed)
+            .build()
+            .expect("community-detection preset is valid")
     }
 
     /// The paper's anomaly-detection setup: early stop on the modularity
     /// loss with the given patience (20 for Cora/Citeseer, 40 for
     /// Polblogs/Pubmed).
     pub fn for_anomaly_detection(num_communities: usize, patience: usize, seed: u64) -> Self {
-        Self {
-            embed_dim: num_communities,
-            epochs: 300,
-            stop: StopStrategy::EarlyStopModularity { patience },
-            seed,
-            ..Default::default()
-        }
+        Self::builder()
+            .embed_dim(num_communities)
+            .epochs(300)
+            .stop(StopStrategy::EarlyStopModularity { patience })
+            .seed(seed)
+            .build()
+            .expect("anomaly-detection preset is valid")
     }
 
     /// Validates parameter sanity.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), AneciError> {
+        let bad = |msg: &str| Err(AneciError::Config(msg.into()));
         if self.hidden_dim == 0 || self.embed_dim == 0 {
-            return Err("layer widths must be positive".into());
+            return bad("layer widths must be positive");
         }
         if self.epochs == 0 {
-            return Err("epochs must be positive".into());
+            return bad("epochs must be positive");
         }
         if self.lr <= 0.0 {
-            return Err("learning rate must be positive".into());
+            return bad("learning rate must be positive");
         }
         if self.beta1 < 0.0 || self.beta2 < 0.0 {
-            return Err("loss weights must be non-negative".into());
+            return bad("loss weights must be non-negative");
         }
         if let StopStrategy::ValidationBest { eval_every } = self.stop {
             if eval_every == 0 {
-                return Err("eval_every must be positive".into());
+                return bad("eval_every must be positive");
             }
         }
         if let ReconMode::Sampled { neg_ratio } = self.recon {
             if neg_ratio == 0 {
-                return Err("neg_ratio must be positive".into());
+                return bad("neg_ratio must be positive");
             }
         }
         Ok(())
+    }
+}
+
+/// Fluent constructor for [`AneciConfig`]; see [`AneciConfig::builder`].
+///
+/// Every setter overrides one field of the [`AneciConfig::default`]
+/// baseline; [`build`](AneciConfigBuilder::build) validates the result.
+///
+/// ```
+/// use aneci_core::{AneciConfig, StopStrategy};
+///
+/// let cfg = AneciConfig::builder()
+///     .embed_dim(8)
+///     .epochs(200)
+///     .stop(StopStrategy::FixedEpochs)
+///     .seed(42)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.embed_dim, 8);
+/// assert!(AneciConfig::builder().epochs(0).build().is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AneciConfigBuilder {
+    config: AneciConfig,
+}
+
+impl AneciConfigBuilder {
+    /// Hidden width of the first GCN layer.
+    pub fn hidden_dim(mut self, v: usize) -> Self {
+        self.config.hidden_dim = v;
+        self
+    }
+
+    /// Embedding size `h` (for community tasks, the community count).
+    pub fn embed_dim(mut self, v: usize) -> Self {
+        self.config.embed_dim = v;
+        self
+    }
+
+    /// LeakyReLU negative slope.
+    pub fn leaky_alpha(mut self, v: f64) -> Self {
+        self.config.leaky_alpha = v;
+        self
+    }
+
+    /// High-order proximity construction (Definition 3).
+    pub fn proximity(mut self, v: ProximityConfig) -> Self {
+        self.config.proximity = v;
+        self
+    }
+
+    /// Weight `β₁` on the (negated) modularity in Eq. 18.
+    pub fn beta1(mut self, v: f64) -> Self {
+        self.config.beta1 = v;
+        self
+    }
+
+    /// Weight `β₂` on the reconstruction loss in Eq. 18.
+    pub fn beta2(mut self, v: f64) -> Self {
+        self.config.beta2 = v;
+        self
+    }
+
+    /// Learning rate (Adam).
+    pub fn lr(mut self, v: f64) -> Self {
+        self.config.lr = v;
+        self
+    }
+
+    /// Decoupled weight decay.
+    pub fn weight_decay(mut self, v: f64) -> Self {
+        self.config.weight_decay = v;
+        self
+    }
+
+    /// Maximum training epochs.
+    pub fn epochs(mut self, v: usize) -> Self {
+        self.config.epochs = v;
+        self
+    }
+
+    /// Stopping strategy.
+    pub fn stop(mut self, v: StopStrategy) -> Self {
+        self.config.stop = v;
+        self
+    }
+
+    /// Reconstruction-loss evaluation mode.
+    pub fn recon(mut self, v: ReconMode) -> Self {
+        self.config.recon = v;
+        self
+    }
+
+    /// Node count above which [`ReconMode::Auto`] switches to sampling.
+    pub fn exact_recon_threshold(mut self, v: usize) -> Self {
+        self.config.exact_recon_threshold = v;
+        self
+    }
+
+    /// RNG seed (weights + negative sampling).
+    pub fn seed(mut self, v: u64) -> Self {
+        self.config.seed = v;
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    pub fn build(self) -> Result<AneciConfig, AneciError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -181,6 +309,43 @@ mod tests {
 
         let ad = AneciConfig::for_anomaly_detection(7, 20, 1);
         assert_eq!(ad.stop, StopStrategy::EarlyStopModularity { patience: 20 });
+    }
+
+    #[test]
+    fn builder_matches_struct_literal() {
+        let built = AneciConfig::builder()
+            .hidden_dim(32)
+            .embed_dim(7)
+            .lr(0.02)
+            .epochs(250)
+            .stop(StopStrategy::FixedEpochs)
+            .recon(ReconMode::Sampled { neg_ratio: 3 })
+            .seed(9)
+            .build()
+            .unwrap();
+        let literal = AneciConfig {
+            hidden_dim: 32,
+            embed_dim: 7,
+            lr: 0.02,
+            epochs: 250,
+            stop: StopStrategy::FixedEpochs,
+            recon: ReconMode::Sampled { neg_ratio: 3 },
+            seed: 9,
+            ..Default::default()
+        };
+        assert_eq!(built, literal);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_with_typed_error() {
+        let err = AneciConfig::builder().epochs(0).build().unwrap_err();
+        assert!(matches!(err, AneciError::Config(_)));
+        assert!(err.to_string().contains("epochs"));
+        assert!(AneciConfig::builder().lr(-0.5).build().is_err());
+        assert!(AneciConfig::builder()
+            .recon(ReconMode::Sampled { neg_ratio: 0 })
+            .build()
+            .is_err());
     }
 
     #[test]

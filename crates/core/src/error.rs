@@ -1,0 +1,110 @@
+//! The crate-wide error type.
+//!
+//! Hand-rolled (no `thiserror`): one enum, `Display` + `std::error::Error`
+//! impls, and `From` conversions from the lower-level error types so `?`
+//! composes across the checkpoint and graph-IO layers. This replaces the
+//! `Result<_, String>` signatures that used to leak out of
+//! `AneciConfig::validate`, `AneciModel::checkpoint` / `from_checkpoint`
+//! and `train_aneci`.
+
+use crate::checkpoint::CheckpointError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong constructing, training or persisting an
+/// AnECI model.
+#[derive(Debug)]
+pub enum AneciError {
+    /// A configuration parameter failed validation.
+    Config(String),
+    /// Reading or writing a `.aneci` checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// A tensor / graph dimension did not match what the architecture
+    /// expects (e.g. a checkpoint trained on a different graph).
+    Shape(String),
+    /// An underlying I/O operation failed (graph files, checkpoint files).
+    Io(io::Error),
+    /// The model has no kept embedding yet — `train()` has not run.
+    Untrained,
+}
+
+impl fmt::Display for AneciError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AneciError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            AneciError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            AneciError::Shape(msg) => write!(f, "shape mismatch: {msg}"),
+            AneciError::Io(e) => write!(f, "i/o error: {e}"),
+            AneciError::Untrained => {
+                write!(f, "model has no kept embedding — call train() first")
+            }
+        }
+    }
+}
+
+impl Error for AneciError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AneciError::Checkpoint(e) => Some(e),
+            AneciError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for AneciError {
+    fn from(e: CheckpointError) -> Self {
+        // An I/O failure inside the checkpoint layer is still an I/O
+        // failure; only format problems stay `Checkpoint`.
+        match e {
+            CheckpointError::Io(io) => AneciError::Io(io),
+            other => AneciError::Checkpoint(other),
+        }
+    }
+}
+
+/// Graph loaders (`aneci-graph::io`) report failures as `io::Error`.
+impl From<io::Error> for AneciError {
+    fn from(e: io::Error) -> Self {
+        AneciError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_are_wired() {
+        let e = AneciError::Config("epochs must be positive".into());
+        assert!(e.to_string().contains("epochs must be positive"));
+        assert!(e.source().is_none());
+
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "missing");
+        let e = AneciError::from(io_err);
+        assert!(matches!(e, AneciError::Io(_)));
+        assert!(e.source().is_some());
+
+        let e = AneciError::from(CheckpointError::Format("bad magic".into()));
+        assert!(matches!(e, AneciError::Checkpoint(_)));
+        assert!(e.to_string().contains("bad magic"));
+
+        // Checkpoint-level I/O failures normalize to `Io`.
+        let e = AneciError::from(CheckpointError::Io(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            "ro",
+        )));
+        assert!(matches!(e, AneciError::Io(_)));
+
+        assert!(AneciError::Untrained.to_string().contains("train()"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &dyn Error) {}
+        takes_err(&AneciError::Shape("2x3 vs 3x2".into()));
+        let boxed: Box<dyn Error> = Box::new(AneciError::Untrained);
+        assert!(boxed.to_string().contains("embedding"));
+    }
+}

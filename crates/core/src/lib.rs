@@ -24,7 +24,7 @@
 //!
 //! let graph = karate_club();
 //! let config = AneciConfig::for_community_detection(2, 0);
-//! let (model, report) = train_aneci(&graph, &config);
+//! let (model, report) = train_aneci(&graph, &config).unwrap();
 //! println!("Q̃ = {:.3}", report.modularity.last().unwrap());
 //! println!("communities: {:?}", model.communities());
 //! ```
@@ -33,6 +33,7 @@ pub mod anomaly;
 pub mod checkpoint;
 pub mod config;
 pub mod denoise;
+pub mod error;
 pub mod model;
 pub mod modularity_defs;
 
@@ -41,8 +42,9 @@ pub use anomaly::{
     node_anomaly_scores,
 };
 pub use checkpoint::{Checkpoint, CheckpointError};
-pub use config::{AneciConfig, ReconMode, StopStrategy};
+pub use config::{AneciConfig, AneciConfigBuilder, ReconMode, StopStrategy};
 pub use denoise::{aneci_plus, DenoiseConfig, DenoiseResult};
+pub use error::AneciError;
 pub use model::{rigidity, train_aneci, AneciModel, TrainReport, ValProbe};
 pub use modularity_defs::{
     classic_modularity, eq_modularity, generalized_modularity, one_hot_membership, qstar_modularity,

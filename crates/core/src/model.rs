@@ -20,10 +20,12 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::config::{AneciConfig, ReconMode, StopStrategy};
+use crate::error::AneciError;
 use aneci_autograd::{Adam, BcePair, ParamSet, Tape, Var};
 use aneci_graph::{AttributedGraph, HighOrder};
 use aneci_linalg::rng::{derive_seed, seeded_rng, xavier_uniform};
 use aneci_linalg::{CsrMatrix, DenseMatrix};
+use aneci_obs::span;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::sync::Arc;
@@ -67,8 +69,16 @@ pub struct AneciModel {
 impl AneciModel {
     /// Prepares the model: builds the propagation operator, the high-order
     /// proximity, the reconstruction target, and Xavier-initialized weights.
+    /// Panics on an invalid configuration; [`AneciModel::try_new`] is the
+    /// non-panicking variant.
     pub fn new(graph: &AttributedGraph, config: &AneciConfig) -> Self {
-        config.validate().expect("invalid AnECI configuration");
+        Self::try_new(graph, config).expect("invalid AnECI configuration")
+    }
+
+    /// Like [`AneciModel::new`] but reports an invalid configuration as
+    /// [`AneciError::Config`] instead of panicking.
+    pub fn try_new(graph: &AttributedGraph, config: &AneciConfig) -> Result<Self, AneciError> {
+        config.validate()?;
         let n = graph.num_nodes();
         let norm_adj = Arc::new(graph.norm_adjacency());
         let ho = HighOrder::build(graph.adjacency(), &config.proximity);
@@ -99,7 +109,7 @@ impl AneciModel {
             xavier_uniform(config.hidden_dim, config.embed_dim, &mut rng),
         );
 
-        Self {
+        Ok(Self {
             config: config.clone(),
             norm_adj,
             a_tilde,
@@ -111,7 +121,7 @@ impl AneciModel {
             positives,
             num_nodes: n,
             best_embedding: None,
-        }
+        })
     }
 
     /// The encoder forward pass on a tape. Returns `(Z, P)`.
@@ -189,6 +199,18 @@ impl AneciModel {
     /// [`StopStrategy::ValidationBest`] checkpointing; without it, the
     /// lowest-loss epoch is kept instead.
     pub fn train(&mut self, mut val_score: Option<ValProbe<'_>>) -> TrainReport {
+        let _train_span = span("core.train");
+        // Cached registry handles: one hash-free atomic add per observation
+        // inside the epoch loop. Per-epoch loss/Q̃/grad-norm values are
+        // bit-identical across thread counts (the pool's chunk decomposition
+        // is thread-count-independent), so these histograms are part of the
+        // deterministic snapshot view.
+        let obs_loss = aneci_obs::histogram("core.train.loss");
+        let obs_q = aneci_obs::histogram("core.train.q_tilde");
+        let obs_dq = aneci_obs::histogram("core.train.delta_q");
+        let obs_gnorm = aneci_obs::histogram("core.train.grad_norm");
+        let obs_epochs = aneci_obs::counter("core.train.epochs");
+
         let mut report = TrainReport::default();
         let mut opt = Adam::new(self.config.lr).with_weight_decay(self.config.weight_decay);
         let mut rng = seeded_rng(derive_seed(self.config.seed, 0x5A3));
@@ -197,26 +219,47 @@ impl AneciModel {
         let mut best_loss = f64::INFINITY;
         let mut best_q = f64::NEG_INFINITY;
         let mut stall = 0usize;
+        let mut prev_q = None;
 
         for epoch in 0..self.config.epochs {
             let mut tape = Tape::new();
             let w = self.params.leaf_all(&mut tape);
-            let (z, p) = self.forward(&mut tape, &w);
-            let q = self.modularity_var(&mut tape, p);
-            let recon = self.recon_var(&mut tape, p, &mut rng);
+            let (z, p) = {
+                let _s = span("encode");
+                self.forward(&mut tape, &w)
+            };
+            let q = {
+                let _s = span("modularity");
+                self.modularity_var(&mut tape, p)
+            };
+            let recon = {
+                let _s = span("decode");
+                self.recon_var(&mut tape, p, &mut rng)
+            };
             let neg_q = tape.neg(q);
             let q_term = tape.scale(neg_q, self.config.beta1);
             let r_term = tape.scale(recon, self.config.beta2);
             let loss = tape.add(q_term, r_term);
-            tape.backward(loss);
 
             let loss_val = tape.scalar(loss);
             let q_val = tape.scalar(q);
             let z_val = tape.value(z).clone();
             let p_val = tape.value(p).clone();
-            let grads = self.params.grads(&tape, &w);
-            drop(tape);
-            opt.step(&mut self.params, &grads);
+            let grads = {
+                let _s = span("step");
+                tape.backward(loss);
+                let grads = self.params.grads(&tape, &w);
+                drop(tape);
+                opt.step(&mut self.params, &grads);
+                grads
+            };
+
+            obs_loss.observe(loss_val);
+            obs_q.observe(q_val);
+            obs_dq.observe(q_val - prev_q.unwrap_or(q_val));
+            obs_gnorm.observe(ParamSet::grad_norm(&grads));
+            obs_epochs.inc();
+            prev_q = Some(q_val);
 
             report.losses.push(loss_val);
             report.modularity.push(q_val);
@@ -340,13 +383,11 @@ impl AneciModel {
     }
 
     /// Snapshots the trained model into a durable [`Checkpoint`]: embedding,
-    /// membership, encoder weights and configuration. Errors if the model
-    /// has not been trained (there is no kept embedding to persist).
-    pub fn checkpoint(&self) -> Result<Checkpoint, String> {
-        let embedding = self
-            .best_embedding
-            .clone()
-            .ok_or("checkpoint: model has no kept embedding — call train() first")?;
+    /// membership, encoder weights and configuration. Errors with
+    /// [`AneciError::Untrained`] if the model has not been trained (there is
+    /// no kept embedding to persist).
+    pub fn checkpoint(&self) -> Result<Checkpoint, AneciError> {
+        let embedding = self.best_embedding.clone().ok_or(AneciError::Untrained)?;
         let membership = embedding.softmax_rows();
         let weights = (0..self.params.len())
             .map(|s| (self.params.name(s).to_string(), self.params.get(s).clone()))
@@ -361,17 +402,16 @@ impl AneciModel {
 
     /// Saves a [`Checkpoint`] of the trained model to `path` (conventionally
     /// `*.aneci`). See [`crate::checkpoint`] for the format.
-    pub fn save_checkpoint(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let ckpt = self
-            .checkpoint()
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-        ckpt.save(path).map_err(std::io::Error::from)
+    pub fn save_checkpoint(&self, path: impl AsRef<std::path::Path>) -> Result<(), AneciError> {
+        let ckpt = self.checkpoint()?;
+        ckpt.save(path)?;
+        Ok(())
     }
 
     /// Loads a [`Checkpoint`] from `path`. Convenience twin of
     /// [`Checkpoint::load`] so save/load live on the same type.
-    pub fn load_checkpoint(path: impl AsRef<std::path::Path>) -> std::io::Result<Checkpoint> {
-        Checkpoint::load(path).map_err(std::io::Error::from)
+    pub fn load_checkpoint(path: impl AsRef<std::path::Path>) -> Result<Checkpoint, AneciError> {
+        Ok(Checkpoint::load(path)?)
     }
 
     /// Rebuilds a trained model from a checkpoint and the graph it was
@@ -379,40 +419,41 @@ impl AneciModel {
     /// bit-exactly, so `embedding()`, `membership()`, `communities()` and a
     /// warm-started `train()` all behave as they did before persistence.
     ///
-    /// Errors when the checkpoint does not match the graph (node count) or
-    /// the weights do not match the configured architecture.
-    pub fn from_checkpoint(graph: &AttributedGraph, ckpt: &Checkpoint) -> Result<Self, String> {
+    /// Errors with [`AneciError::Shape`] when the checkpoint does not match
+    /// the graph (node count) or the weights do not match the configured
+    /// architecture.
+    pub fn from_checkpoint(graph: &AttributedGraph, ckpt: &Checkpoint) -> Result<Self, AneciError> {
         if ckpt.embedding.rows() != graph.num_nodes() {
-            return Err(format!(
+            return Err(AneciError::Shape(format!(
                 "checkpoint covers {} nodes but the graph has {}",
                 ckpt.embedding.rows(),
                 graph.num_nodes()
-            ));
+            )));
         }
-        let mut model = Self::new(graph, &ckpt.config);
+        let mut model = Self::try_new(graph, &ckpt.config)?;
         if ckpt.weights.len() != model.params.len() {
-            return Err(format!(
+            return Err(AneciError::Shape(format!(
                 "checkpoint has {} weight tensors, architecture expects {}",
                 ckpt.weights.len(),
                 model.params.len()
-            ));
+            )));
         }
         for slot in 0..model.params.len() {
             let want_name = model.params.name(slot).to_string();
             let (name, value) = &ckpt.weights[slot];
             if *name != want_name {
-                return Err(format!(
+                return Err(AneciError::Shape(format!(
                     "weight slot {slot} is '{name}' in the checkpoint but '{want_name}' here"
-                ));
+                )));
             }
             if value.shape() != model.params.get(slot).shape() {
-                return Err(format!(
+                return Err(AneciError::Shape(format!(
                     "weight '{name}' is {}x{} in the checkpoint but {}x{} here",
                     value.rows(),
                     value.cols(),
                     model.params.get(slot).rows(),
                     model.params.get(slot).cols()
-                ));
+                )));
             }
             *model.params.get_mut(slot) = value.clone();
         }
@@ -429,11 +470,15 @@ pub fn rigidity(p: &DenseMatrix) -> f64 {
     p.dot(p) / p.rows() as f64
 }
 
-/// One-call convenience: build, train and return `(model, report)`.
-pub fn train_aneci(graph: &AttributedGraph, config: &AneciConfig) -> (AneciModel, TrainReport) {
-    let mut model = AneciModel::new(graph, config);
+/// One-call convenience: build, train and return `(model, report)`. Errors
+/// with [`AneciError::Config`] when the configuration is invalid.
+pub fn train_aneci(
+    graph: &AttributedGraph,
+    config: &AneciConfig,
+) -> Result<(AneciModel, TrainReport), AneciError> {
+    let mut model = AneciModel::try_new(graph, config)?;
     let report = model.train(None);
-    (model, report)
+    Ok((model, report))
 }
 
 #[cfg(test)]
@@ -458,7 +503,7 @@ mod tests {
         let g = karate_club();
         let mut cfg = quick_config(1);
         cfg.embed_dim = 2;
-        let (_, report) = train_aneci(&g, &cfg);
+        let (_, report) = train_aneci(&g, &cfg).unwrap();
         assert_eq!(report.epochs_run, 40);
         let first = report.losses[0];
         let last = *report.losses.last().unwrap();
@@ -469,7 +514,7 @@ mod tests {
     #[test]
     fn modularity_rises_during_training() {
         let g = karate_club();
-        let (_, report) = train_aneci(&g, &quick_config(2));
+        let (_, report) = train_aneci(&g, &quick_config(2)).unwrap();
         let early: f64 = report.modularity[..5].iter().sum::<f64>() / 5.0;
         let late: f64 = report.modularity[report.modularity.len() - 5..]
             .iter()
@@ -549,7 +594,7 @@ mod tests {
         cfg.embed_dim = 3;
         cfg.epochs = 120;
         cfg.lr = 0.02;
-        let (model, _) = train_aneci(&g, &cfg);
+        let (model, _) = train_aneci(&g, &cfg).unwrap();
         let pred = model.communities();
         let truth = g.labels.as_ref().unwrap();
         let nmi = {
@@ -594,7 +639,7 @@ mod tests {
         let mut cfg = quick_config(5);
         cfg.epochs = 500;
         cfg.stop = StopStrategy::EarlyStopModularity { patience: 10 };
-        let (_, report) = train_aneci(&g, &cfg);
+        let (_, report) = train_aneci(&g, &cfg).unwrap();
         assert!(report.epochs_run < 500, "early stop never triggered");
         assert!(report.best_epoch < report.epochs_run);
     }
@@ -620,8 +665,8 @@ mod tests {
         exact_cfg.recon = ReconMode::Exact;
         let mut sampled_cfg = quick_config(7);
         sampled_cfg.recon = ReconMode::Sampled { neg_ratio: 5 };
-        let (m1, r1) = train_aneci(&g, &exact_cfg);
-        let (m2, r2) = train_aneci(&g, &sampled_cfg);
+        let (m1, r1) = train_aneci(&g, &exact_cfg).unwrap();
+        let (m2, r2) = train_aneci(&g, &sampled_cfg).unwrap();
         // Both reach positive modularity; both losses fall.
         assert!(*r1.modularity.last().unwrap() > 0.0);
         assert!(*r2.modularity.last().unwrap() > 0.0);
@@ -640,7 +685,7 @@ mod tests {
     #[test]
     fn membership_rows_are_distributions() {
         let g = karate_club();
-        let (model, _) = train_aneci(&g, &quick_config(8));
+        let (model, _) = train_aneci(&g, &quick_config(8)).unwrap();
         let p = model.membership();
         for row in p.rows_iter() {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -660,15 +705,15 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let g = karate_club();
-        let (m1, _) = train_aneci(&g, &quick_config(9));
-        let (m2, _) = train_aneci(&g, &quick_config(9));
+        let (m1, _) = train_aneci(&g, &quick_config(9)).unwrap();
+        let (m2, _) = train_aneci(&g, &quick_config(9)).unwrap();
         assert_eq!(m1.embedding(), m2.embedding());
     }
 
     #[test]
     fn checkpoint_restores_model_bit_exactly() {
         let g = karate_club();
-        let (model, _) = train_aneci(&g, &quick_config(21));
+        let (model, _) = train_aneci(&g, &quick_config(21)).unwrap();
         let ckpt = model.checkpoint().unwrap();
         let bytes = ckpt.to_bytes().unwrap();
         let loaded = crate::checkpoint::Checkpoint::from_bytes(&bytes).unwrap();
@@ -683,7 +728,7 @@ mod tests {
     #[test]
     fn checkpoint_rejects_mismatched_graph() {
         let g = karate_club();
-        let (model, _) = train_aneci(&g, &quick_config(22));
+        let (model, _) = train_aneci(&g, &quick_config(22)).unwrap();
         let ckpt = model.checkpoint().unwrap();
         let mut sbm = SbmConfig::small();
         sbm.num_nodes = 50;

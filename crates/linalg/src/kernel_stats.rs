@@ -1,13 +1,30 @@
-//! Lightweight per-kernel counters (calls, flops, wall time).
+//! Always-on per-kernel counters (calls, elements/flops, wall time), backed
+//! by the [`aneci_obs`] global registry.
 //!
-//! Compiled to a no-op unless the `kernel-stats` feature is enabled, so hot
-//! kernels pay nothing in normal builds. With the feature on, every kernel
-//! wrapped in [`record`] bumps three atomic counters; [`snapshot`] returns
-//! the totals so benchmarks and future profiling PRs can see where time
-//! goes without a profiler attached.
+//! Every kernel wrapped in [`record`] bumps three relaxed atomic counters in
+//! the process-wide registry:
+//!
+//! * `linalg.kernel.<name>.calls` — invocations;
+//! * `linalg.kernel.<name>.elems` — scalar work (flops or element visits)
+//!   reported by the caller;
+//! * `linalg.kernel.<name>.wall_ns` — accumulated wall time (excluded from
+//!   [`aneci_obs::Snapshot::deterministic`], like every `_ns` metric).
+//!
+//! These used to be compiled out behind the `kernel-stats` feature; with the
+//! persistent-handle registry the cost is two `Instant` reads and three
+//! relaxed `fetch_add`s per kernel call, so they now run permanently (the
+//! feature remains as an accepted no-op). [`snapshot`] / [`reset`] keep the
+//! historical window semantics by subtracting a baseline instead of zeroing
+//! the shared registry.
 
-/// Instrumented kernels. Extend this (and [`Kernel::name`], and `COUNT`)
-/// when new kernels are wrapped in [`record`].
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use aneci_obs::Counter;
+
+/// Instrumented kernels. Extend this (and [`Kernel::name`], and
+/// [`Kernel::ALL`]) when new kernels are wrapped in [`record`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(usize)]
 pub enum Kernel {
@@ -26,11 +43,10 @@ pub enum Kernel {
 }
 
 /// Number of [`Kernel`] variants (size of the counter table).
-#[cfg(feature = "kernel-stats")]
 const KERNEL_COUNT: usize = 6;
 
 impl Kernel {
-    /// Stable display name used in snapshots and bench reports.
+    /// Stable display name used in metric names and bench reports.
     pub fn name(self) -> &'static str {
         match self {
             Kernel::Matmul => "matmul",
@@ -42,8 +58,8 @@ impl Kernel {
         }
     }
 
-    #[cfg(feature = "kernel-stats")]
-    const ALL: [Kernel; KERNEL_COUNT] = [
+    /// Every instrumented kernel, in table order.
+    pub const ALL: [Kernel; KERNEL_COUNT] = [
         Kernel::Matmul,
         Kernel::MatmulTn,
         Kernel::SpmmDense,
@@ -53,122 +69,118 @@ impl Kernel {
     ];
 }
 
-/// One kernel's accumulated totals, as returned by [`snapshot`].
+/// One kernel's accumulated totals since the last [`reset`], as returned by
+/// [`snapshot`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KernelStat {
     /// Kernel display name.
     pub kernel: &'static str,
     /// Number of [`record`] invocations.
     pub calls: u64,
-    /// Total floating-point operations reported by callers.
+    /// Total scalar work (flops / element visits) reported by callers.
     pub flops: u64,
     /// Total wall time spent inside the kernel, in nanoseconds.
     pub wall_ns: u64,
 }
 
-#[cfg(feature = "kernel-stats")]
-mod imp {
-    use super::{Kernel, KernelStat, KERNEL_COUNT};
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::time::Instant;
-
-    struct Row {
-        calls: AtomicU64,
-        flops: AtomicU64,
-        wall_ns: AtomicU64,
-    }
-
-    #[allow(clippy::declare_interior_mutable_const)]
-    const ZERO_ROW: Row = Row {
-        calls: AtomicU64::new(0),
-        flops: AtomicU64::new(0),
-        wall_ns: AtomicU64::new(0),
-    };
-    static TABLE: [Row; KERNEL_COUNT] = [ZERO_ROW; KERNEL_COUNT];
-
-    pub fn record<R>(kernel: Kernel, flops: u64, f: impl FnOnce() -> R) -> R {
-        let start = Instant::now();
-        let out = f();
-        let row = &TABLE[kernel as usize];
-        row.calls.fetch_add(1, Ordering::Relaxed);
-        row.flops.fetch_add(flops, Ordering::Relaxed);
-        row.wall_ns
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        out
-    }
-
-    pub fn snapshot() -> Vec<KernelStat> {
-        Kernel::ALL
-            .iter()
-            .map(|&k| {
-                let row = &TABLE[k as usize];
-                KernelStat {
-                    kernel: k.name(),
-                    calls: row.calls.load(Ordering::Relaxed),
-                    flops: row.flops.load(Ordering::Relaxed),
-                    wall_ns: row.wall_ns.load(Ordering::Relaxed),
-                }
-            })
-            .collect()
-    }
-
-    pub fn reset() {
-        for row in &TABLE {
-            row.calls.store(0, Ordering::Relaxed);
-            row.flops.store(0, Ordering::Relaxed);
-            row.wall_ns.store(0, Ordering::Relaxed);
-        }
-    }
+/// Cached registry handles plus the `reset` baseline for one kernel.
+struct Row {
+    calls: Counter,
+    elems: Counter,
+    wall_ns: Counter,
+    base_calls: AtomicU64,
+    base_elems: AtomicU64,
+    base_wall_ns: AtomicU64,
 }
 
-/// Runs `f`, charging its wall time and `flops` to `kernel` when the
-/// `kernel-stats` feature is on; otherwise just runs `f`.
+fn table() -> &'static [Row; KERNEL_COUNT] {
+    static TABLE: OnceLock<[Row; KERNEL_COUNT]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        Kernel::ALL.map(|k| {
+            let name = k.name();
+            Row {
+                calls: aneci_obs::counter(&format!("linalg.kernel.{name}.calls")),
+                elems: aneci_obs::counter(&format!("linalg.kernel.{name}.elems")),
+                wall_ns: aneci_obs::counter(&format!("linalg.kernel.{name}.wall_ns")),
+                base_calls: AtomicU64::new(0),
+                base_elems: AtomicU64::new(0),
+                base_wall_ns: AtomicU64::new(0),
+            }
+        })
+    })
+}
+
+/// Runs `f`, charging its wall time and `flops` scalar-work units to
+/// `kernel` in the global observability registry.
 #[inline]
 pub fn record<R>(kernel: Kernel, flops: u64, f: impl FnOnce() -> R) -> R {
-    #[cfg(feature = "kernel-stats")]
-    {
-        imp::record(kernel, flops, f)
-    }
-    #[cfg(not(feature = "kernel-stats"))]
-    {
-        let _ = (kernel, flops);
-        f()
-    }
+    let row = &table()[kernel as usize];
+    let start = Instant::now();
+    let out = f();
+    row.calls.add(1);
+    row.elems.add(flops);
+    row.wall_ns.add(start.elapsed().as_nanos() as u64);
+    out
 }
 
-/// Current totals for every kernel (empty when `kernel-stats` is off).
+/// Totals for every kernel since the last [`reset`] (process start if never
+/// reset), in [`Kernel::ALL`] order.
 pub fn snapshot() -> Vec<KernelStat> {
-    #[cfg(feature = "kernel-stats")]
-    {
-        imp::snapshot()
-    }
-    #[cfg(not(feature = "kernel-stats"))]
-    {
-        Vec::new()
-    }
+    table()
+        .iter()
+        .zip(Kernel::ALL)
+        .map(|(row, k)| KernelStat {
+            kernel: k.name(),
+            calls: row
+                .calls
+                .get()
+                .saturating_sub(row.base_calls.load(Ordering::Relaxed)),
+            flops: row
+                .elems
+                .get()
+                .saturating_sub(row.base_elems.load(Ordering::Relaxed)),
+            wall_ns: row
+                .wall_ns
+                .get()
+                .saturating_sub(row.base_wall_ns.load(Ordering::Relaxed)),
+        })
+        .collect()
 }
 
-/// Zeroes every counter (no-op when `kernel-stats` is off).
+/// Starts a fresh measurement window: subsequent [`snapshot`]s report only
+/// activity after this call. The shared registry counters stay monotone —
+/// only this module's baseline moves.
 pub fn reset() {
-    #[cfg(feature = "kernel-stats")]
-    imp::reset();
+    for row in table().iter() {
+        row.base_calls.store(row.calls.get(), Ordering::Relaxed);
+        row.base_elems.store(row.elems.get(), Ordering::Relaxed);
+        row.base_wall_ns.store(row.wall_ns.get(), Ordering::Relaxed);
+    }
 }
 
-#[cfg(all(test, feature = "kernel-stats"))]
+#[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Other tests in this binary run kernels concurrently and share the
+    /// global registry, so assert monotone deltas rather than exact totals.
     #[test]
-    fn record_accumulates_and_reset_clears() {
-        reset();
+    fn record_accumulates_and_reset_windows() {
+        let before = snapshot();
+        let b = before
+            .iter()
+            .find(|s| s.kernel == "matmul")
+            .unwrap()
+            .clone();
         let v = record(Kernel::Matmul, 100, || 41 + 1);
         assert_eq!(v, 42);
         record(Kernel::Matmul, 50, || ());
-        let stats = snapshot();
-        let row = stats.iter().find(|s| s.kernel == "matmul").unwrap();
-        assert_eq!(row.calls, 2);
-        assert_eq!(row.flops, 150);
-        reset();
-        assert!(snapshot().iter().all(|s| s.calls == 0));
+        let after = snapshot();
+        let a = after.iter().find(|s| s.kernel == "matmul").unwrap().clone();
+        assert!(a.calls >= b.calls + 2);
+        assert!(a.flops >= b.flops + 150);
+        // The registry counter matches the pre-baseline total.
+        let snap = aneci_obs::global().snapshot();
+        assert!(snap.counter("linalg.kernel.matmul.calls").unwrap() >= a.calls);
     }
 }

@@ -14,7 +14,8 @@
 //! * [`par`] — multi-threaded versions of the hot products;
 //! * [`pool`] — the persistent worker-pool runtime every multi-threaded
 //!   kernel dispatches through (`ANECI_NUM_THREADS` / `ANECI_PAR_THRESHOLD`);
-//! * [`kernel_stats`] — optional per-kernel counters (`kernel-stats` feature);
+//! * [`kernel_stats`] — always-on per-kernel counters recorded into the
+//!   `aneci-obs` global registry (`linalg.kernel.*`);
 //! * [`rng`] — explicit-seed randomness, Xavier/He initializers, alias-table
 //!   sampling;
 //! * [`vector`] — flat similarity kernels (dot / cosine / L2) shared by the

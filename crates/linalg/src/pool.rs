@@ -332,6 +332,19 @@ pub fn parallel_map_chunks<T: Send>(
         .collect()
 }
 
+/// Cached handles for the serial/pooled dispatch-decision counters.
+/// Dispatch choice depends on the thread count, so these metrics live under
+/// a `dispatch` segment and are excluded from deterministic snapshots.
+fn dispatch_counters() -> &'static (aneci_obs::Counter, aneci_obs::Counter) {
+    static COUNTERS: OnceLock<(aneci_obs::Counter, aneci_obs::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        (
+            aneci_obs::counter("linalg.pool.dispatch.serial"),
+            aneci_obs::counter("linalg.pool.dispatch.pooled"),
+        )
+    })
+}
+
 fn run_chunks(items: usize, grain: usize, f: &(dyn Fn(usize, usize, usize) + Sync)) {
     if items == 0 {
         return;
@@ -340,6 +353,7 @@ fn run_chunks(items: usize, grain: usize, f: &(dyn Fn(usize, usize, usize) + Syn
     let n_chunks = items.div_ceil(grain);
     let serial = n_chunks == 1 || num_threads() <= 1 || IN_PARALLEL.with(|flag| flag.get());
     if serial {
+        dispatch_counters().0.inc();
         for chunk in 0..n_chunks {
             let lo = chunk * grain;
             f(chunk, lo, (lo + grain).min(items));
@@ -350,12 +364,14 @@ fn run_chunks(items: usize, grain: usize, f: &(dyn Fn(usize, usize, usize) + Syn
     // Re-read the cap now that the pool definitely exists.
     let cap = configured_threads().min(pool.n_workers + 1);
     if cap <= 1 {
+        dispatch_counters().0.inc();
         for chunk in 0..n_chunks {
             let lo = chunk * grain;
             f(chunk, lo, (lo + grain).min(items));
         }
         return;
     }
+    dispatch_counters().1.inc();
     let next = AtomicUsize::new(0);
     let executors = AtomicUsize::new(0);
     let panicked = AtomicBool::new(false);

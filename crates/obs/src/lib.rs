@@ -1,0 +1,139 @@
+//! # aneci-obs
+//!
+//! The workspace-wide observability substrate: a lightweight metrics
+//! registry, hierarchical span timers, and a JSONL telemetry sink — with
+//! **zero external dependencies**, so it sits below `aneci-linalg` in the
+//! crate graph and every layer records into the same registry:
+//!
+//! * `aneci-linalg` — kernel invocation counters, elements processed, wall
+//!   time, pooled-vs-serial dispatch decisions;
+//! * `aneci-core` — per-epoch training metrics (loss, `Q̃`, `ΔQ̃`, gradient
+//!   norms) and phase spans (`encode` / `modularity` / `decode` / `step`);
+//! * `aneci-serve` — query latency histograms, HNSW hop counts, cache
+//!   hits/misses.
+//!
+//! ## Model
+//!
+//! Three metric kinds, all addressed by dot-separated hierarchical names
+//! (`layer.component.metric`):
+//!
+//! * [`Counter`] — monotone `u64`;
+//! * [`Gauge`] — last-written `f64`;
+//! * [`Histogram`] — fixed-bucket distribution with count/sum/min/max and
+//!   percentile estimation (`p50`/`p95`/`p99`).
+//!
+//! Handles are cheap `Arc`-backed clones; recording is one or two relaxed
+//! atomic operations, so instrumentation can stay on permanently (the
+//! measured overhead on the quickstart training loop is well under 5%).
+//! [`set_enabled`]`(false)` turns every recording call into a branch-and-
+//! return for A/B overhead measurements.
+//!
+//! ## Determinism
+//!
+//! [`Snapshot::deterministic`] projects a snapshot onto the metrics that are
+//! reproducible across thread counts and wall clocks: it drops every metric
+//! whose name ends in `_ns` (wall times) and every metric with a `dispatch`
+//! or `cache` path segment (whose values legitimately depend on the thread
+//! count or on scheduling). Everything that remains — kernel call counts,
+//! elements processed, training losses, hop counts, span call counts — is
+//! bit-identical for a fixed seed regardless of `ANECI_NUM_THREADS`, which
+//! the telemetry test suite pins.
+//!
+//! ## Example
+//!
+//! ```
+//! use aneci_obs as obs;
+//!
+//! let reg = obs::Registry::new();
+//! reg.counter("demo.events").add(3);
+//! reg.histogram("demo.value").observe(1.5);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("demo.events"), Some(3));
+//! assert_eq!(snap.histogram("demo.value").unwrap().count, 1);
+//! ```
+
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use sink::{install_jsonl_sink, install_writer, sink_active, uninstall_sink};
+pub use span::{span, SpanGuard};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every instrumented layer records into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Globally enables or disables recording (spans, counters, histograms).
+/// Disabled recording is a single relaxed load and a branch — the knob the
+/// telemetry-overhead measurement in `bench_report --obs` flips.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled (default: `true`).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Convenience: a counter in the [`global`] registry.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Convenience: a gauge in the [`global`] registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Convenience: a stat-only histogram in the [`global`] registry.
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
+/// Convenience: a nanosecond-latency histogram in the [`global`] registry.
+pub fn histogram_time_ns(name: &str) -> Histogram {
+    global().histogram_time_ns(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_round_trip() {
+        let was = enabled();
+        set_enabled(true);
+        counter("lib.test.count").add(2);
+        gauge("lib.test.gauge").set(0.5);
+        histogram("lib.test.hist").observe(4.0);
+        let snap = global().snapshot();
+        assert!(snap.counter("lib.test.count").unwrap() >= 2);
+        assert_eq!(snap.gauge("lib.test.gauge"), Some(0.5));
+        assert!(snap.histogram("lib.test.hist").unwrap().count >= 1);
+        set_enabled(was);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_noop() {
+        let reg = Registry::new();
+        let c = reg.counter("off.count");
+        let h = reg.histogram("off.hist");
+        let was = enabled();
+        set_enabled(false);
+        c.inc();
+        h.observe(1.0);
+        set_enabled(was);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("off.count"), Some(0));
+        assert_eq!(snap.histogram("off.hist").unwrap().count, 0);
+    }
+}

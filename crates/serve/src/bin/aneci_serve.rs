@@ -91,14 +91,6 @@ fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
         .map_err(|_| format!("{flag} expects a non-negative integer, got {s:?}"))
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv)?;
@@ -154,9 +146,10 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    // Batch execution for throughput, then a per-query pass for latency
-    // percentiles (identical responses either way — handlers are
-    // deterministic, so timing never changes results).
+    // Batch execution; the engine records per-query latency into the
+    // `serve.query_ns` histogram of the aneci-obs registry as it runs, so
+    // percentiles come straight from telemetry instead of a second
+    // hand-timed pass over the queries.
     let t2 = Instant::now();
     let responses = engine.run_batch(&lines);
     let batch_secs = t2.elapsed().as_secs_f64();
@@ -168,17 +161,6 @@ fn run() -> Result<(), String> {
     }
     out.flush().map_err(|e| format!("flushing stdout: {e}"))?;
 
-    let sample = lines.len().min(1000);
-    let mut lat_ms: Vec<f64> = lines[..sample]
-        .iter()
-        .map(|l| {
-            let t = Instant::now();
-            let _ = engine.run_line(l);
-            t.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    lat_ms.sort_by(f64::total_cmp);
-
     let (hits, misses) = engine.cache_stats();
     eprintln!(
         "{} queries in {:.1} ms — {:.0} q/s ({})",
@@ -187,13 +169,29 @@ fn run() -> Result<(), String> {
         lines.len() as f64 / batch_secs.max(1e-12),
         if args.ann { "ann" } else { "exact" },
     );
-    eprintln!(
-        "latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms ({} sampled)",
-        percentile(&lat_ms, 0.50),
-        percentile(&lat_ms, 0.95),
-        percentile(&lat_ms, 0.99),
-        sample,
-    );
+    let snap = aneci_obs::global().snapshot();
+    if let Some(lat) = snap.histogram("serve.query_ns") {
+        eprintln!(
+            "latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms ({} recorded)",
+            lat.p50() / 1e6,
+            lat.p95() / 1e6,
+            lat.p99() / 1e6,
+            lat.count,
+        );
+    }
+    if args.ann {
+        if let (Some(hops), Some(searches)) = (
+            snap.counter("serve.hnsw.hops"),
+            snap.counter("serve.hnsw.searches"),
+        ) {
+            if searches > 0 {
+                eprintln!(
+                    "hnsw: {searches} searches, {:.1} hops/search",
+                    hops as f64 / searches as f64
+                );
+            }
+        }
+    }
     if args.cache > 0 {
         eprintln!("cache: {hits} hits, {misses} misses");
     }

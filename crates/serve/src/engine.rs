@@ -111,6 +111,26 @@ impl Default for EngineConfig {
     }
 }
 
+/// Cached registry handles for the serving hot path (one lookup per engine,
+/// not per query).
+struct EngineMetrics {
+    queries: aneci_obs::Counter,
+    query_ns: aneci_obs::Histogram,
+    cache_hits: aneci_obs::Counter,
+    cache_misses: aneci_obs::Counter,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        Self {
+            queries: aneci_obs::counter("serve.queries"),
+            query_ns: aneci_obs::histogram_time_ns("serve.query_ns"),
+            cache_hits: aneci_obs::counter("serve.cache.hits"),
+            cache_misses: aneci_obs::counter("serve.cache.misses"),
+        }
+    }
+}
+
 /// The serving engine: store + optional ANN index + optional response cache.
 pub struct QueryEngine {
     store: EmbeddingStore,
@@ -119,6 +139,7 @@ pub struct QueryEngine {
     /// Keyed by the raw (trimmed) query line; values are response lines.
     /// Correct because every handler is deterministic in the query text.
     cache: Option<Mutex<LruCache<String, String>>>,
+    metrics: EngineMetrics,
 }
 
 impl QueryEngine {
@@ -135,6 +156,7 @@ impl QueryEngine {
             ann,
             config,
             cache,
+            metrics: EngineMetrics::new(),
         }
     }
 
@@ -269,11 +291,18 @@ impl QueryEngine {
     /// response line. Never panics on malformed input. Consults the LRU
     /// cache first when enabled.
     pub fn run_line(&self, line: &str) -> String {
+        let start = std::time::Instant::now();
+        self.metrics.queries.inc();
         let key = line.trim();
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.lock().unwrap().get(&key.to_string()).cloned() {
+                self.metrics.cache_hits.inc();
+                self.metrics
+                    .query_ns
+                    .observe(start.elapsed().as_nanos() as f64);
                 return hit;
             }
+            self.metrics.cache_misses.inc();
         }
         let response = match serde_json::from_str::<Query>(key) {
             Ok(q) => self.run(&q),
@@ -283,6 +312,9 @@ impl QueryEngine {
         if let Some(cache) = &self.cache {
             cache.lock().unwrap().put(key.to_string(), out.clone());
         }
+        self.metrics
+            .query_ns
+            .observe(start.elapsed().as_nanos() as f64);
         out
     }
 

@@ -31,6 +31,18 @@ use rand::Rng;
 
 use crate::store::{Metric, Scored};
 
+/// Cached handles for `(serve.hnsw.hops, serve.hnsw.searches)`.
+fn search_metrics() -> &'static (aneci_obs::Counter, aneci_obs::Counter) {
+    static METRICS: std::sync::OnceLock<(aneci_obs::Counter, aneci_obs::Counter)> =
+        std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        (
+            aneci_obs::counter("serve.hnsw.hops"),
+            aneci_obs::counter("serve.hnsw.searches"),
+        )
+    })
+}
+
 /// Construction parameters for [`HnswIndex`].
 #[derive(Clone, Debug)]
 pub struct HnswConfig {
@@ -171,17 +183,20 @@ impl HnswIndex {
             id: self.entry,
         }];
 
+        // Construction hops are not query telemetry; discard the count.
+        let mut hops = 0u64;
+
         // Greedy descent through layers above the node's top level.
         let mut layer = self.max_layer;
         while layer > level {
-            ep = self.search_layer(&q, &ep, 1, layer);
+            ep = self.search_layer(&q, &ep, 1, layer, &mut hops);
             layer -= 1;
         }
 
         // Insert with beam search from min(level, max_layer) down to 0.
         let mut l = level.min(self.max_layer);
         loop {
-            let found = self.search_layer(&q, &ep, ef_construction, l);
+            let found = self.search_layer(&q, &ep, ef_construction, l, &mut hops);
             let chosen = self.select_neighbors(&found, self.m);
             for &nb in &chosen {
                 self.links[node as usize][l].push(nb);
@@ -248,8 +263,16 @@ impl HnswIndex {
     }
 
     /// Beam search at one layer: returns up to `ef` best nodes, sorted by
-    /// descending similarity (ascending-id tie-breaks).
-    fn search_layer(&self, q: &[f64], entries: &[Cand], ef: usize, layer: usize) -> Vec<Cand> {
+    /// descending similarity (ascending-id tie-breaks). Each expanded
+    /// frontier node counts as one hop in `hops`.
+    fn search_layer(
+        &self,
+        q: &[f64],
+        entries: &[Cand],
+        ef: usize,
+        layer: usize,
+        hops: &mut u64,
+    ) -> Vec<Cand> {
         let mut visited = vec![false; self.links.len()];
         // Max-heap of frontier nodes; min-heap (via Reverse) of best-so-far.
         let mut frontier: BinaryHeap<Cand> = BinaryHeap::new();
@@ -270,6 +293,7 @@ impl HnswIndex {
             if best.len() >= ef && c.sim < worst {
                 break;
             }
+            *hops += 1;
             let neighbors = &self.links[c.id as usize];
             if layer >= neighbors.len() {
                 continue;
@@ -316,16 +340,21 @@ impl HnswIndex {
             vector::normalize_inplace(&mut q);
         }
 
+        let mut hops = 0u64;
         let mut ep = vec![Cand {
             sim: self.sim_to(&q, self.entry),
             id: self.entry,
         }];
         for layer in (1..=self.max_layer).rev() {
-            ep = self.search_layer(&q, &ep, 1, layer);
+            ep = self.search_layer(&q, &ep, 1, layer, &mut hops);
         }
         // One extra beam slot covers a possible excluded id.
         let beam = ef.max(k) + usize::from(exclude.is_some());
-        let found = self.search_layer(&q, &ep, beam, 0);
+        let found = self.search_layer(&q, &ep, beam, 0, &mut hops);
+        // Search is deterministic, and hop totals add commutatively, so
+        // these counters stay in the deterministic snapshot view.
+        search_metrics().0.add(hops);
+        search_metrics().1.inc();
         found
             .into_iter()
             .filter(|c| Some(c.id as usize) != exclude)

@@ -9,9 +9,8 @@
 
 use aneci::attacks::{seed_outliers, OutlierType};
 use aneci::baselines::{Dominant, DominantConfig, Gae, GaeConfig};
-use aneci::core::{node_anomaly_scores, train_aneci, AneciConfig};
-use aneci::eval::{auc, isolation_forest_scores, IsolationForestConfig};
-use aneci::graph::Benchmark;
+use aneci::eval::{isolation_forest_scores, IsolationForestConfig};
+use aneci::prelude::*;
 
 fn main() {
     let seed = 11;
@@ -75,7 +74,7 @@ fn main() {
         // AnECI: anomalous nodes straddle communities → high membership
         // entropy, with the paper's early-stopping-on-modularity protocol.
         let config = AneciConfig::for_anomaly_detection(graph.num_classes(), 20, seed);
-        let (model, _) = train_aneci(&seeded.graph, &config);
+        let (model, _) = train_aneci(&seeded.graph, &config).expect("training failed");
         let scores = node_anomaly_scores(&model.membership());
         let auc_aneci = auc(&scores, truth);
 

@@ -8,12 +8,8 @@
 
 use aneci::attacks::random_attack;
 use aneci::baselines::{Gae, GaeConfig};
-use aneci::core::{
-    aneci_plus, defense_score, train_aneci, AneciConfig, DenoiseConfig, StopStrategy,
-};
 use aneci::eval::logreg::evaluate_embedding;
-use aneci::graph::{AttributedGraph, Benchmark};
-use aneci::linalg::DenseMatrix;
+use aneci::prelude::*;
 
 fn test_accuracy(graph: &AttributedGraph, z: &DenseMatrix, seed: u64) -> f64 {
     let labels = graph.labels.as_ref().unwrap();
@@ -38,19 +34,19 @@ fn main() {
         graph.num_edges()
     );
 
-    let aneci_cfg = AneciConfig {
-        epochs: 150,
-        stop: StopStrategy::FixedEpochs,
-        seed,
-        ..Default::default()
-    };
+    let aneci_cfg = AneciConfig::builder()
+        .epochs(150)
+        .stop(StopStrategy::FixedEpochs)
+        .seed(seed)
+        .build()
+        .expect("valid AnECI configuration");
     let gae_cfg = GaeConfig {
         seed,
         ..Default::default()
     };
 
     // Baseline accuracies on the clean graph.
-    let (clean_aneci, _) = train_aneci(&graph, &aneci_cfg);
+    let (clean_aneci, _) = train_aneci(&graph, &aneci_cfg).expect("training failed");
     let clean_gae = Gae::fit(&graph, &gae_cfg);
     println!("\n{:<28}{:>8}{:>8}", "", "GAE", "AnECI");
     println!(
@@ -67,7 +63,7 @@ fn main() {
         attack.fake_edges.len()
     );
 
-    let (atk_aneci, _) = train_aneci(&attack.graph, &aneci_cfg);
+    let (atk_aneci, _) = train_aneci(&attack.graph, &aneci_cfg).expect("training failed");
     let atk_gae = Gae::fit(&attack.graph, &gae_cfg);
     println!(
         "{:<28}{:>8.3}{:>8.3}",

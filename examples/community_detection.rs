@@ -9,10 +9,8 @@
 //! ```
 
 use aneci::baselines::{deepwalk, louvain, DeepWalkConfig};
-use aneci::core::{train_aneci, AneciConfig};
-use aneci::eval::{kmeans_best_of, modularity, nmi};
 use aneci::graph::io::{load_json, save_json};
-use aneci::graph::{generate_sbm, FeatureKind, SbmConfig};
+use aneci::prelude::*;
 
 fn main() {
     let seed = 3;
@@ -72,7 +70,8 @@ fn main() {
     );
 
     // AnECI: the membership matrix is the clustering.
-    let (model, report) = train_aneci(&graph, &AneciConfig::for_community_detection(k, seed));
+    let (model, report) = train_aneci(&graph, &AneciConfig::for_community_detection(k, seed))
+        .expect("training failed");
     let communities = model.communities();
     println!(
         "{:<22}{:>12.3}{:>8.3}",

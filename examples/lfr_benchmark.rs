@@ -8,9 +8,8 @@
 //! ```
 
 use aneci::baselines::{hope_embedding, louvain, HopeConfig};
-use aneci::core::{train_aneci, AneciConfig};
-use aneci::eval::{kmeans_best_of, modularity, nmi};
-use aneci::graph::{generate_lfr, graph_stats, LfrConfig};
+use aneci::graph::graph_stats;
+use aneci::prelude::*;
 
 fn main() {
     let seed = 13;
@@ -44,7 +43,8 @@ fn main() {
         let km = kmeans_best_of(&z, k, 100, 5, seed).assignments;
         let (q_km, n_km) = (modularity(&g, &km), nmi(&km, &truth));
 
-        let (model, _) = train_aneci(&g, &AneciConfig::for_community_detection(k, seed));
+        let (model, _) = train_aneci(&g, &AneciConfig::for_community_detection(k, seed))
+            .expect("training failed");
         let an = model.communities();
         let (q_an, n_an) = (modularity(&g, &an), nmi(&an, &truth));
 

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use aneci::core::{node_anomaly_scores, train_aneci, AneciConfig};
-use aneci::eval::{modularity, nmi};
-use aneci::graph::karate_club;
+use aneci::prelude::*;
 
 fn main() {
     // 1. Load the (real, embedded) karate-club network: 34 nodes, 78 edges,
@@ -23,7 +21,7 @@ fn main() {
     // 2. Train AnECI with the community-detection preset (embedding size =
     //    number of communities, so softmax(Z) is the membership matrix).
     let config = AneciConfig::for_community_detection(2, 42);
-    let (model, report) = train_aneci(&graph, &config);
+    let (model, report) = train_aneci(&graph, &config).expect("training failed");
     println!(
         "trained {} epochs; final loss {:.4}, final Q̃ {:.4}",
         report.epochs_run,
@@ -61,7 +59,7 @@ fn main() {
     //    this file (see the serve_queries example).
     let path = std::env::temp_dir().join("quickstart.aneci");
     model.save_checkpoint(&path).expect("saving checkpoint");
-    let reloaded = aneci::core::AneciModel::load_checkpoint(&path).expect("loading checkpoint");
+    let reloaded = AneciModel::load_checkpoint(&path).expect("loading checkpoint");
     assert_eq!(
         reloaded,
         model.checkpoint().unwrap(),

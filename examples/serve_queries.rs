@@ -6,16 +6,14 @@
 //! cargo run --release --example serve_queries
 //! ```
 
-use aneci::core::{train_aneci, AneciConfig, AneciModel};
-use aneci::graph::karate_club;
-use aneci::serve::{EmbeddingStore, EngineConfig, QueryEngine};
+use aneci::prelude::*;
 
 fn main() {
     // 1. Train and checkpoint (any trained model works; karate club is
     //    instant).
     let graph = karate_club();
     let config = AneciConfig::for_community_detection(2, 42);
-    let (model, _) = train_aneci(&graph, &config);
+    let (model, _) = train_aneci(&graph, &config).expect("training failed");
     let path = std::env::temp_dir().join("serve_queries.aneci");
     model.save_checkpoint(&path).expect("saving checkpoint");
     println!("checkpoint written to {}", path.display());

@@ -6,6 +6,7 @@
 //!
 //! | crate | contents |
 //! |---|---|
+//! | [`obs`] | zero-dependency metrics registry, span timers, JSONL telemetry |
 //! | [`linalg`] | dense / CSR sparse matrices, multi-threaded kernels, seeded RNG |
 //! | [`autograd`] | tape-based reverse-mode autodiff + optimizers |
 //! | [`graph`] | attributed graphs, high-order proximity, SBM benchmark generators |
@@ -18,12 +19,17 @@
 //! ## Quickstart
 //!
 //! ```
-//! use aneci::core::{AneciConfig, train_aneci};
-//! use aneci::graph::karate_club;
+//! use aneci::prelude::*;
 //!
 //! let graph = karate_club();
-//! let config = AneciConfig::for_community_detection(2, 0);
-//! let (model, _report) = train_aneci(&graph, &config);
+//! let config = AneciConfig::builder()
+//!     .embed_dim(2)
+//!     .epochs(40)
+//!     .stop(StopStrategy::FixedEpochs)
+//!     .seed(0)
+//!     .build()
+//!     .unwrap();
+//! let (model, _report) = train_aneci(&graph, &config).unwrap();
 //! let communities = model.communities();
 //! assert_eq!(communities.len(), 34);
 //! ```
@@ -35,4 +41,24 @@ pub use aneci_core as core;
 pub use aneci_eval as eval;
 pub use aneci_graph as graph;
 pub use aneci_linalg as linalg;
+pub use aneci_obs as obs;
 pub use aneci_serve as serve;
+
+/// The names most programs need, in one import: graph loading and
+/// generation, model configuration (struct presets and the builder),
+/// training, anomaly/denoise scoring, the standard metrics, and the
+/// serving engine. Examples open with `use aneci::prelude::*;`.
+pub mod prelude {
+    pub use aneci_core::{
+        aneci_plus, defense_score, node_anomaly_scores, train_aneci, AneciConfig,
+        AneciConfigBuilder, AneciError, AneciModel, DenoiseConfig, ReconMode, StopStrategy,
+        TrainReport,
+    };
+    pub use aneci_eval::{accuracy, auc, kmeans_best_of, modularity, nmi};
+    pub use aneci_graph::{
+        generate_lfr, generate_sbm, karate_club, AttributedGraph, Benchmark, FeatureKind,
+        LfrConfig, SbmConfig,
+    };
+    pub use aneci_linalg::DenseMatrix;
+    pub use aneci_serve::{EmbeddingStore, EngineConfig, QueryEngine};
+}

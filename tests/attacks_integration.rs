@@ -150,7 +150,7 @@ fn aneci_retains_target_accuracy_under_nettack() {
         seed: 4,
         ..Default::default()
     };
-    let (model, _) = train_aneci(&atk.graph, &aneci_cfg);
+    let (model, _) = train_aneci(&atk.graph, &aneci_cfg).unwrap();
     let acc = evaluate_embedding(
         model.embedding(),
         &labels,

@@ -99,7 +99,7 @@ fn outlier_detection_beats_chance() {
 
     let mut cfg = quick_cfg(3);
     cfg.epochs = 60;
-    let (model, _) = train_aneci(&seeded.graph, &cfg);
+    let (model, _) = train_aneci(&seeded.graph, &cfg).unwrap();
     let scores = node_anomaly_scores(&model.membership());
     let auc_aneci = auc(&scores, &seeded.is_outlier);
     assert!(auc_aneci > 0.6, "AnECI outlier AUC only {auc_aneci:.3}");

@@ -47,7 +47,7 @@ fn quick_aneci(seed: u64) -> AneciConfig {
 fn classification_pipeline_beats_raw_features() {
     let g = small_benchmark(1);
     let labels = g.labels.clone().unwrap();
-    let (model, report) = train_aneci(&g, &quick_aneci(1));
+    let (model, report) = train_aneci(&g, &quick_aneci(1)).unwrap();
     assert!(report.losses.last().unwrap().is_finite());
 
     let acc_aneci = evaluate_embedding(
@@ -77,7 +77,7 @@ fn community_pipeline_recovers_planted_partition() {
     let mut cfg = quick_aneci(2);
     cfg.embed_dim = 3;
     cfg.epochs = 150;
-    let (model, _) = train_aneci(&g, &cfg);
+    let (model, _) = train_aneci(&g, &cfg).unwrap();
     let communities = model.communities();
     let truth = g.labels.as_ref().unwrap();
     let q = modularity(&g, &communities);
@@ -94,7 +94,7 @@ fn aneci_defense_score_beats_gae_under_attack() {
     let attack = random_attack(&g, 0.3, 3);
     let clean_edges = g.edge_list();
 
-    let (aneci, _) = train_aneci(&attack.graph, &quick_aneci(3));
+    let (aneci, _) = train_aneci(&attack.graph, &quick_aneci(3)).unwrap();
     let ds_aneci = aneci::core::defense_score(aneci.embedding(), &clean_edges, &attack.fake_edges);
 
     let gae = Gae::fit(
