@@ -7,6 +7,9 @@
 //!
 //! * [`tape::Tape`] / [`tape::Var`] — define-by-run computation graph;
 //! * [`optim`] — `ParamSet`, SGD(+momentum), Adam, gradient clipping;
+//! * [`train`] — the shared [`train::Trainer`] engine that owns the
+//!   tape-rebuild/backward/step loop (stop rules, LR schedules, clipping,
+//!   divergence guard, telemetry) for the core model and every baseline;
 //! * [`gradcheck`] — central-difference verification used throughout the
 //!   workspace's test suites.
 //!
@@ -25,10 +28,15 @@
 pub mod gradcheck;
 pub mod optim;
 pub mod tape;
+pub mod train;
 
 pub use gradcheck::{check_gradient, GradCheck};
 pub use optim::{Adam, ParamSet, Sgd};
 pub use tape::{BcePair, Tape, Var};
+pub use train::{
+    EpochStats, LrSchedule, Objective, Optimizer, OptimizerKind, StepOutput, StopRule, TrainError,
+    TrainRun, TrainStep, Trainer,
+};
 
 #[cfg(test)]
 mod proptests {

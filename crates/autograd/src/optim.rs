@@ -8,6 +8,7 @@
 //! 3. collect gradients and hand them to [`Adam::step`] / [`Sgd::step`].
 
 use crate::tape::{Tape, Var};
+use crate::train::TrainError;
 use aneci_linalg::DenseMatrix;
 
 /// A named, ordered collection of trainable matrices.
@@ -24,10 +25,31 @@ impl ParamSet {
     }
 
     /// Registers a parameter and returns its slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered — duplicate names would
+    /// corrupt name-keyed checkpoint round-trips. Use [`Self::try_register`]
+    /// to handle the collision instead.
     pub fn register(&mut self, name: impl Into<String>, value: DenseMatrix) -> usize {
-        self.names.push(name.into());
+        self.try_register(name, value)
+            .unwrap_or_else(|e| panic!("ParamSet::register: {e}"))
+    }
+
+    /// Registers a parameter, rejecting duplicate names with
+    /// [`TrainError::DuplicateParam`].
+    pub fn try_register(
+        &mut self,
+        name: impl Into<String>,
+        value: DenseMatrix,
+    ) -> Result<usize, TrainError> {
+        let name = name.into();
+        if self.names.iter().any(|n| *n == name) {
+            return Err(TrainError::DuplicateParam(name));
+        }
+        self.names.push(name);
         self.values.push(value);
-        self.values.len() - 1
+        Ok(self.values.len() - 1)
     }
 
     /// Number of parameters.

@@ -6,10 +6,12 @@
 //! each node through the bilinear discriminator `D(h, s) = hᵀ W s`, trained
 //! with BCE (real = 1, corrupted = 0).
 
+use aneci_autograd::train::{TrainError, Trainer};
 use aneci_autograd::{Adam, ParamSet, Tape, Var};
 use aneci_graph::AttributedGraph;
 use aneci_linalg::rng::{derive_seed, seeded_rng, shuffle, xavier_uniform};
 use aneci_linalg::{CsrMatrix, DenseMatrix};
+use aneci_obs::span;
 use std::sync::Arc;
 
 /// DGI hyperparameters.
@@ -44,8 +46,15 @@ pub struct Dgi {
 }
 
 impl Dgi {
-    /// Trains DGI on the graph (unsupervised).
+    /// Trains DGI on the graph (unsupervised). Panics on divergence;
+    /// [`Dgi::try_fit`] is the non-panicking variant.
     pub fn fit(graph: &AttributedGraph, config: &DgiConfig) -> Self {
+        Self::try_fit(graph, config).expect("DGI training diverged")
+    }
+
+    /// Trains DGI on the graph, surfacing [`TrainError::Diverged`] when the
+    /// loss goes non-finite.
+    pub fn try_fit(graph: &AttributedGraph, config: &DgiConfig) -> Result<Self, TrainError> {
         let n = graph.num_nodes();
         let norm_adj = Arc::new(graph.norm_adjacency());
         let features = graph.features().clone();
@@ -59,7 +68,6 @@ impl Dgi {
         params.register("w_disc", xavier_uniform(config.dim, config.dim, &mut rng));
 
         let mut opt = Adam::new(config.lr);
-        let mut losses = Vec::new();
 
         let encode = |tape: &mut Tape, w: Var, x: &DenseMatrix, s: &Arc<CsrMatrix>| -> Var {
             let xv = tape.constant(x.clone());
@@ -70,17 +78,21 @@ impl Dgi {
             tape.leaky_relu(h, 0.01)
         };
 
-        for _ in 0..config.epochs {
+        let mut step = |tape: &mut Tape, w: &[Var], _epoch: usize| -> Var {
             // Corruption: shuffle feature rows.
             let mut perm: Vec<usize> = (0..n).collect();
             shuffle(&mut perm, &mut rng);
             let corrupted = features.select_rows(&perm);
 
-            let mut tape = Tape::new();
-            let w = params.leaf_all(&mut tape);
-            let h_real = encode(&mut tape, w[0], &features, &norm_adj);
-            let h_fake = encode(&mut tape, w[0], &corrupted, &norm_adj);
+            let (h_real, h_fake) = {
+                let _s = span("encode");
+                (
+                    encode(tape, w[0], &features, &norm_adj),
+                    encode(tape, w[0], &corrupted, &norm_adj),
+                )
+            };
 
+            let _s = span("loss");
             // Readout: s = sigmoid(column means of H_real), a 1×d row.
             let ones_over_n = tape.constant(DenseMatrix::filled(1, n, 1.0 / n as f64));
             let mean_row = tape.matmul(ones_over_n, h_real);
@@ -111,14 +123,14 @@ impl Dgi {
             let fake_sq = tape.hadamard(sig_fake, sig_fake);
             let sum_r = tape.mean_all(real_sq);
             let sum_f = tape.mean_all(fake_sq);
-            let loss = tape.add(sum_r, sum_f);
-
-            tape.backward(loss);
-            losses.push(tape.scalar(loss));
-            let grads = params.grads(&tape, &w);
-            drop(tape);
-            opt.step(&mut params, &grads);
-        }
+            tape.add(sum_r, sum_f)
+        };
+        let run = Trainer::new(config.epochs).observe_as("train.dgi").run(
+            &mut params,
+            &mut opt,
+            &mut step,
+        )?;
+        let losses = run.losses;
 
         // Final embedding from the trained encoder.
         let embedding = {
@@ -127,7 +139,7 @@ impl Dgi {
             let h = encode(&mut tape, w[0], &features, &norm_adj);
             tape.value(h).clone()
         };
-        Self { embedding, losses }
+        Ok(Self { embedding, losses })
     }
 
     /// The learned embedding `H`.

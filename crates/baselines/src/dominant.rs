@@ -6,10 +6,12 @@
 //! minimizes `α‖A − Â‖ + (1−α)‖X − X̂‖`; the per-node anomaly score is the
 //! same weighted combination of its two reconstruction errors.
 
-use aneci_autograd::{Adam, ParamSet, Tape};
+use aneci_autograd::train::{TrainError, Trainer};
+use aneci_autograd::{Adam, ParamSet, Tape, Var};
 use aneci_graph::AttributedGraph;
 use aneci_linalg::rng::{derive_seed, seeded_rng, xavier_uniform};
 use aneci_linalg::DenseMatrix;
+use aneci_obs::span;
 use std::sync::Arc;
 
 /// Dominant hyperparameters.
@@ -51,8 +53,15 @@ pub struct Dominant {
 }
 
 impl Dominant {
-    /// Trains on the graph and computes per-node anomaly scores.
+    /// Trains on the graph and computes per-node anomaly scores. Panics on
+    /// divergence; [`Dominant::try_fit`] is the non-panicking variant.
     pub fn fit(graph: &AttributedGraph, config: &DominantConfig) -> Self {
+        Self::try_fit(graph, config).expect("Dominant training diverged")
+    }
+
+    /// Trains on the graph, surfacing [`TrainError::Diverged`] when the loss
+    /// goes non-finite (instead of silently training through NaNs).
+    pub fn try_fit(graph: &AttributedGraph, config: &DominantConfig) -> Result<Self, TrainError> {
         let n = graph.num_nodes();
         let norm_adj = Arc::new(graph.norm_adjacency());
         let features = graph.features().clone();
@@ -80,18 +89,18 @@ impl Dominant {
         );
 
         let mut opt = Adam::new(config.lr);
-        let mut losses = Vec::new();
+        let mut step = |tape: &mut Tape, w: &[Var], _epoch: usize| -> Var {
+            let z = {
+                let _s = span("encode");
+                let x = tape.constant(features.clone());
+                let xw = tape.matmul(x, w[0]);
+                let h1 = tape.spmm(&norm_adj, xw);
+                let a1 = tape.relu(h1);
+                let hw = tape.matmul(a1, w[1]);
+                tape.spmm(&norm_adj, hw)
+            };
 
-        for _ in 0..config.epochs {
-            let mut tape = Tape::new();
-            let w = params.leaf_all(&mut tape);
-            let x = tape.constant(features.clone());
-            let xw = tape.matmul(x, w[0]);
-            let h1 = tape.spmm(&norm_adj, xw);
-            let a1 = tape.relu(h1);
-            let hw = tape.matmul(a1, w[1]);
-            let z = tape.spmm(&norm_adj, hw);
-
+            let _s = span("loss");
             // Structure reconstruction (weighted BCE over all pairs).
             let nnz = adj_dense.sum();
             let pos_weight = ((n * n) as f64 - nnz) / nnz;
@@ -107,13 +116,12 @@ impl Dominant {
             let a_loss = tape.mean_all(sq);
             let a_term = tape.scale(a_loss, 1.0 - config.alpha);
 
-            let loss = tape.add(s_term, a_term);
-            tape.backward(loss);
-            losses.push(tape.scalar(loss));
-            let grads = params.grads(&tape, &w);
-            drop(tape);
-            opt.step(&mut params, &grads);
-        }
+            tape.add(s_term, a_term)
+        };
+        let run = Trainer::new(config.epochs)
+            .observe_as("train.dominant")
+            .run(&mut params, &mut opt, &mut step)?;
+        let losses = run.losses;
 
         // Final forward: embedding + per-node reconstruction errors.
         let (embedding, scores) = {
@@ -156,11 +164,11 @@ impl Dominant {
             (zv, scores)
         };
 
-        Self {
+        Ok(Self {
             embedding,
             scores,
             losses,
-        }
+        })
     }
 
     /// The learned embedding.

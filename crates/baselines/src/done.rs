@@ -13,10 +13,12 @@
 //! together; the adversarial discriminator of ADONE is out of scope (noted
 //! in DESIGN.md).
 
+use aneci_autograd::train::{TrainError, Trainer};
 use aneci_autograd::{Adam, ParamSet, Tape, Var};
 use aneci_graph::AttributedGraph;
 use aneci_linalg::rng::{derive_seed, seeded_rng, xavier_uniform};
 use aneci_linalg::DenseMatrix;
+use aneci_obs::span;
 
 /// DONE hyperparameters.
 #[derive(Clone, Debug)]
@@ -105,7 +107,14 @@ fn ae_forward(
 
 impl Done {
     /// Trains the twin autoencoders with alternating outlier reweighting.
+    /// Panics on divergence; [`Done::try_fit`] is the non-panicking variant.
     pub fn fit(graph: &AttributedGraph, config: &DoneConfig) -> Self {
+        Self::try_fit(graph, config).expect("DONE training diverged")
+    }
+
+    /// Trains the twin autoencoders, surfacing [`TrainError::Diverged`] when
+    /// the loss goes non-finite (instead of silently training through NaNs).
+    pub fn try_fit(graph: &AttributedGraph, config: &DoneConfig) -> Result<Self, TrainError> {
         let n = graph.num_nodes();
         // Structure view: row-normalized adjacency rows (dense).
         let adj_rows = {
@@ -142,12 +151,14 @@ impl Done {
             let str_weights = DenseMatrix::from_fn(n, n, |r, _| norm_w[r]);
             let attr_weights = DenseMatrix::from_fn(n, attrs.cols(), |r, _| norm_w[r]);
 
-            let mut last_loss = 0.0;
-            for _ in 0..config.epochs_per_round {
-                let mut tape = Tape::new();
-                let w = params.leaf_all(&mut tape);
-                let (hs, ls) = ae_forward(&mut tape, &w, &s_slots, &adj_rows, &str_weights);
-                let (ha, la) = ae_forward(&mut tape, &w, &a_slots, &attrs, &attr_weights);
+            let mut step = |tape: &mut Tape, w: &[Var], _epoch: usize| -> Var {
+                let (hs, ls, ha, la) = {
+                    let _s = span("encode");
+                    let (hs, ls) = ae_forward(tape, w, &s_slots, &adj_rows, &str_weights);
+                    let (ha, la) = ae_forward(tape, w, &a_slots, &attrs, &attr_weights);
+                    (hs, ls, ha, la)
+                };
+                let _s = span("loss");
                 // Homophily: neighbors should embed nearby in both views,
                 // plus the two views of the same node should agree.
                 let hom_pairs: Vec<aneci_autograd::BcePair> = edges
@@ -165,14 +176,12 @@ impl Done {
                     )
                 };
                 let recon = tape.add(ls, la);
-                let loss = tape.add(recon, hom_total);
-                tape.backward(loss);
-                last_loss = tape.scalar(loss);
-                let grads = params.grads(&tape, &w);
-                drop(tape);
-                opt.step(&mut params, &grads);
-            }
-            round_losses.push(last_loss);
+                tape.add(recon, hom_total)
+            };
+            let run = Trainer::new(config.epochs_per_round)
+                .observe_as("train.done")
+                .run(&mut params, &mut opt, &mut step)?;
+            round_losses.push(run.losses.last().copied().unwrap_or(0.0));
 
             // Closed-form outlier refresh: o_i ∝ the node's error share
             // across both views (reconstruction + homophily, as in DONE's
@@ -198,11 +207,11 @@ impl Done {
             tape.value(hs).hstack(tape.value(ha))
         };
 
-        Self {
+        Ok(Self {
             embedding,
             outlier_scores: outliers,
             round_losses,
-        }
+        })
     }
 
     fn per_node_errors(

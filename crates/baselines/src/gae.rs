@@ -8,11 +8,13 @@
 //! VGAE: adds the variational heads `μ, log σ²` with the reparameterization
 //! trick and a KL regularizer toward the unit Gaussian.
 
-use aneci_autograd::{Adam, BcePair, ParamSet, Tape};
+use aneci_autograd::train::{TrainError, Trainer};
+use aneci_autograd::{Adam, BcePair, ParamSet, Tape, Var};
 use aneci_graph::AttributedGraph;
 use aneci_linalg::rng::xavier_uniform;
 use aneci_linalg::rng::{derive_seed, gaussian_matrix, seeded_rng};
 use aneci_linalg::{CsrMatrix, DenseMatrix};
+use aneci_obs::span;
 use rand::Rng;
 use std::sync::Arc;
 
@@ -68,8 +70,15 @@ pub struct Gae {
 }
 
 impl Gae {
-    /// Trains on the graph (unsupervised).
+    /// Trains on the graph (unsupervised). Panics on divergence;
+    /// [`Gae::try_fit`] is the non-panicking variant.
     pub fn fit(graph: &AttributedGraph, config: &GaeConfig) -> Self {
+        Self::try_fit(graph, config).expect("GAE training diverged")
+    }
+
+    /// Trains on the graph, surfacing [`TrainError::Diverged`] when the
+    /// loss goes non-finite instead of producing garbage embeddings.
+    pub fn try_fit(graph: &AttributedGraph, config: &GaeConfig) -> Result<Self, TrainError> {
         let n = graph.num_nodes();
         let norm_adj = Arc::new(graph.norm_adjacency());
         let features = graph.features().clone();
@@ -111,49 +120,50 @@ impl Gae {
         }
 
         let mut opt = Adam::new(config.lr);
-        let mut losses = Vec::new();
         // Default KL weight: the reconstruction term here is a *mean* over
         // N² pairs, so the KL sum must be scaled down to 1/N² as well to
         // keep the same relative weighting as the reference implementation
         // (which pairs a summed reconstruction with KL/N).
         let kl_scale = config.kl_scale.unwrap_or(1.0 / (n as f64 * n as f64));
 
-        for _ in 0..config.epochs {
-            let mut tape = Tape::new();
-            let w = params.leaf_all(&mut tape);
-            let x = tape.constant(features.clone());
-            let xw = tape.matmul(x, w[0]);
-            let h1 = tape.spmm(&norm_adj, xw);
-            let a1 = tape.relu(h1);
-            let mu = {
-                let hw = tape.matmul(a1, w[1]);
-                tape.spmm(&norm_adj, hw)
-            };
-            let (z, kl) = if config.variational {
-                let logvar = {
-                    let hw = tape.matmul(a1, w[2]);
+        let mut step = |tape: &mut Tape, w: &[Var], _epoch: usize| -> Var {
+            let (z, kl) = {
+                let _s = span("encode");
+                let x = tape.constant(features.clone());
+                let xw = tape.matmul(x, w[0]);
+                let h1 = tape.spmm(&norm_adj, xw);
+                let a1 = tape.relu(h1);
+                let mu = {
+                    let hw = tape.matmul(a1, w[1]);
                     tape.spmm(&norm_adj, hw)
                 };
-                // Reparameterize: z = mu + exp(logvar/2) ⊙ ε.
-                let eps = tape.constant(gaussian_matrix(n, config.embed_dim, 1.0, &mut rng));
-                let half_logvar = tape.scale(logvar, 0.5);
-                let std = tape.exp(half_logvar);
-                let noise = tape.hadamard(std, eps);
-                let z = tape.add(mu, noise);
-                // KL = -0.5 Σ (1 + logvar − mu² − exp(logvar)) / N
-                let mu_sq = tape.hadamard(mu, mu);
-                let exp_logvar = tape.exp(logvar);
-                let ones = tape.constant(DenseMatrix::filled(n, config.embed_dim, 1.0));
-                let s1 = tape.add(ones, logvar);
-                let s2 = tape.sub(s1, mu_sq);
-                let s3 = tape.sub(s2, exp_logvar);
-                let ksum = tape.sum(s3);
-                let kl = tape.scale(ksum, -0.5 * kl_scale);
-                (z, Some(kl))
-            } else {
-                (mu, None)
+                if config.variational {
+                    let logvar = {
+                        let hw = tape.matmul(a1, w[2]);
+                        tape.spmm(&norm_adj, hw)
+                    };
+                    // Reparameterize: z = mu + exp(logvar/2) ⊙ ε.
+                    let eps = tape.constant(gaussian_matrix(n, config.embed_dim, 1.0, &mut rng));
+                    let half_logvar = tape.scale(logvar, 0.5);
+                    let std = tape.exp(half_logvar);
+                    let noise = tape.hadamard(std, eps);
+                    let z = tape.add(mu, noise);
+                    // KL = -0.5 Σ (1 + logvar − mu² − exp(logvar)) / N
+                    let mu_sq = tape.hadamard(mu, mu);
+                    let exp_logvar = tape.exp(logvar);
+                    let ones = tape.constant(DenseMatrix::filled(n, config.embed_dim, 1.0));
+                    let s1 = tape.add(ones, logvar);
+                    let s2 = tape.sub(s1, mu_sq);
+                    let s3 = tape.sub(s2, exp_logvar);
+                    let ksum = tape.sum(s3);
+                    let kl = tape.scale(ksum, -0.5 * kl_scale);
+                    (z, Some(kl))
+                } else {
+                    (mu, None)
+                }
             };
 
+            let _s = span("loss");
             let recon = match &dense_target {
                 Some(target) => {
                     let l = tape.dense_recon_bce(z, target, pos_weight);
@@ -175,16 +185,21 @@ impl Gae {
                     tape.scale(l, 1.0 / count)
                 }
             };
-            let loss = match kl {
+            match kl {
                 Some(k) => tape.add(recon, k),
                 None => recon,
-            };
-            tape.backward(loss);
-            losses.push(tape.scalar(loss));
-            let grads = params.grads(&tape, &w);
-            drop(tape);
-            opt.step(&mut params, &grads);
-        }
+            }
+        };
+        let prefix = if config.variational {
+            "train.vgae"
+        } else {
+            "train.gae"
+        };
+        let run =
+            Trainer::new(config.epochs)
+                .observe_as(prefix)
+                .run(&mut params, &mut opt, &mut step)?;
+        let losses = run.losses;
 
         // Final embedding = μ (the deterministic encoder output).
         let embedding = {
@@ -199,14 +214,14 @@ impl Gae {
             tape.value(mu).clone()
         };
 
-        Self {
+        Ok(Self {
             params,
             norm_adj,
             features,
             config: config.clone(),
             losses,
             embedding,
-        }
+        })
     }
 
     /// The learned embedding `Z` (the mean head for VGAE).

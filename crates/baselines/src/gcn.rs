@@ -7,10 +7,15 @@
 //! labelled training nodes, Adam with weight decay, early stopping on the
 //! validation loss.
 
-use aneci_autograd::{Adam, ParamSet, Tape, Var};
+use aneci_autograd::train::{
+    Objective, OptimizerKind, StepOutput, StopRule, TrainError, TrainStep, Trainer,
+};
+use aneci_autograd::{ParamSet, Tape, Var};
 use aneci_graph::AttributedGraph;
 use aneci_linalg::rng::{derive_seed, seeded_rng, xavier_uniform};
 use aneci_linalg::{CsrMatrix, DenseMatrix};
+use aneci_obs::span;
+use rand::rngs::StdRng;
 use std::sync::Arc;
 
 /// GCN hyperparameters.
@@ -30,6 +35,10 @@ pub struct GcnConfig {
     /// during training (the reference GCN uses 0.5; 0 disables — the
     /// default here, so small-graph experiments stay deterministic-simple).
     pub dropout: f64,
+    /// Which optimizer drives the weight updates. Both Adam (the reference
+    /// setup, the default) and SGD(+momentum) apply `weight_decay`
+    /// uniformly through the shared `Optimizer` trait.
+    pub optimizer: OptimizerKind,
     /// RNG seed.
     pub seed: u64,
 }
@@ -43,6 +52,7 @@ impl Default for GcnConfig {
             epochs: 200,
             patience: 20,
             dropout: 0.0,
+            optimizer: OptimizerKind::Adam,
             seed: 0,
         }
     }
@@ -61,8 +71,15 @@ pub struct GcnClassifier {
 }
 
 impl GcnClassifier {
-    /// Trains on the graph's labelled `split.train` nodes.
+    /// Trains on the graph's labelled `split.train` nodes. Panics on
+    /// divergence; [`GcnClassifier::try_fit`] is the non-panicking variant.
     pub fn fit(graph: &AttributedGraph, config: &GcnConfig) -> Self {
+        Self::try_fit(graph, config).expect("GCN training diverged")
+    }
+
+    /// Trains on the graph's labelled `split.train` nodes, surfacing
+    /// [`TrainError::Diverged`] when the loss goes non-finite.
+    pub fn try_fit(graph: &AttributedGraph, config: &GcnConfig) -> Result<Self, TrainError> {
         let labels = graph.labels.as_ref().expect("GCN needs labels").clone();
         let num_classes = graph.num_classes();
         assert!(num_classes >= 2, "GCN needs at least two classes");
@@ -84,64 +101,45 @@ impl GcnClassifier {
             xavier_uniform(config.hidden_dim, num_classes, &mut rng),
         );
 
-        let mut opt = Adam::new(config.lr).with_weight_decay(config.weight_decay);
-        let mut train_losses = Vec::new();
-        let mut val_losses = Vec::new();
-        let mut best_val = f64::INFINITY;
-        let mut best_params = params.clone();
-        let mut stall = 0usize;
-
-        for _ in 0..config.epochs {
-            let mut tape = Tape::new();
-            let w = params.leaf_all(&mut tape);
-            let logits = forward_train(
-                &mut tape,
-                &w,
-                &norm_adj,
-                &features,
-                config.dropout,
-                &mut rng,
-            );
-            let loss = tape.softmax_cross_entropy(logits, &labels, &graph.split.train);
-            tape.backward(loss);
-            train_losses.push(tape.scalar(loss));
-
-            if !graph.split.val.is_empty() {
-                // Validation loss on the same forward pass (no grad needed).
-                let vloss = {
-                    let mut t2 = Tape::new();
-                    let logits_const = t2.constant(tape.value(logits).clone());
-                    let l = t2.softmax_cross_entropy(logits_const, &labels, &graph.split.val);
-                    t2.scalar(l)
-                };
-                val_losses.push(vloss);
-                if vloss < best_val - 1e-6 {
-                    best_val = vloss;
-                    stall = 0;
-                    best_params = params.clone();
-                } else {
-                    stall += 1;
-                }
-            }
-            let grads = params.grads(&tape, &w);
-            drop(tape);
-            opt.step(&mut params, &grads);
-            if config.patience > 0 && stall >= config.patience {
-                break;
-            }
-        }
+        let mut opt = config.optimizer.build(config.lr, config.weight_decay);
+        let mut driver = GcnStep {
+            norm_adj: &norm_adj,
+            features: &features,
+            labels: &labels,
+            train_nodes: &graph.split.train,
+            val_nodes: &graph.split.val,
+            dropout: config.dropout,
+            rng,
+            val_losses: Vec::new(),
+            best_params: None,
+        };
+        // The reference loop compared `vloss < best − 1e-6` and broke after
+        // `patience` consecutive stalled validation epochs.
+        let run = Trainer::new(config.epochs)
+            .stop(StopRule::BestMonitor {
+                objective: Objective::Minimize,
+                patience: config.patience,
+                min_delta: 1e-6,
+            })
+            .observe_as("train.gcn")
+            .run(&mut params, opt.as_mut(), &mut driver)?;
+        let GcnStep {
+            val_losses,
+            best_params,
+            ..
+        } = driver;
         if !val_losses.is_empty() {
-            params = best_params;
+            params = best_params.expect("first validation epoch always improves");
         }
 
-        Self {
+        Ok(Self {
             params,
             norm_adj,
             features,
             num_classes,
-            train_losses,
+            train_losses: run.losses,
             val_losses,
-        }
+        })
     }
 
     /// Class logits for every node.
@@ -188,6 +186,56 @@ impl GcnClassifier {
     /// differentiate surrogate losses through these frozen weights.
     pub fn weights(&self) -> (DenseMatrix, DenseMatrix) {
         (self.params.get(0).clone(), self.params.get(1).clone())
+    }
+}
+
+/// Drives [`GcnClassifier::fit`] through the shared [`Trainer`]: the
+/// training loss on the labelled split, plus the validation loss as the
+/// monitored metric and a best-parameter snapshot (taken pre-step, exactly
+/// as the reference loop did).
+struct GcnStep<'a> {
+    norm_adj: &'a Arc<CsrMatrix>,
+    features: &'a DenseMatrix,
+    labels: &'a [usize],
+    train_nodes: &'a [usize],
+    val_nodes: &'a [usize],
+    dropout: f64,
+    rng: StdRng,
+    val_losses: Vec<f64>,
+    best_params: Option<ParamSet>,
+}
+
+impl TrainStep for GcnStep<'_> {
+    fn step(&mut self, tape: &mut Tape, w: &[Var], _epoch: usize) -> StepOutput {
+        let logits = {
+            let _s = span("encode");
+            forward_train(
+                tape,
+                w,
+                self.norm_adj,
+                self.features,
+                self.dropout,
+                &mut self.rng,
+            )
+        };
+        let _s = span("loss");
+        let loss = tape.softmax_cross_entropy(logits, self.labels, self.train_nodes);
+        if self.val_nodes.is_empty() {
+            return StepOutput::new(loss);
+        }
+        // Validation loss on the same forward pass (no grad needed).
+        let vloss = {
+            let mut t2 = Tape::new();
+            let logits_const = t2.constant(tape.value(logits).clone());
+            let l = t2.softmax_cross_entropy(logits_const, self.labels, self.val_nodes);
+            t2.scalar(l)
+        };
+        self.val_losses.push(vloss);
+        StepOutput::with_monitor(loss, vloss)
+    }
+
+    fn on_best(&mut self, _epoch: usize, params: &ParamSet) {
+        self.best_params = Some(params.clone());
     }
 }
 
@@ -320,6 +368,102 @@ mod tests {
         let a = GcnClassifier::fit(&g, &cfg).predict();
         let b = GcnClassifier::fit(&g, &cfg).predict();
         assert_eq!(a, b);
+    }
+
+    /// The pre-`Trainer` loop, replicated by hand, must produce bit-exact
+    /// train/val trajectories and the same kept parameters as `fit` — the
+    /// migration changed no tape op order, RNG draw or update order.
+    #[test]
+    fn trainer_matches_hand_rolled_reference_loop() {
+        use aneci_autograd::Adam;
+
+        let g = sbm_with_split(7);
+        let cfg = GcnConfig {
+            epochs: 60,
+            patience: 5,
+            dropout: 0.5, // exercise the RNG stream too
+            ..Default::default()
+        };
+
+        // --- Hand-rolled reference (the old fit body, verbatim). ---
+        let labels = g.labels.as_ref().unwrap().clone();
+        let norm_adj = Arc::new(g.norm_adjacency());
+        let features = g.features().clone();
+        let mut rng = seeded_rng(derive_seed(cfg.seed, 0x6C4));
+        let mut params = ParamSet::new();
+        params.register(
+            "w1",
+            xavier_uniform(features.cols(), cfg.hidden_dim, &mut rng),
+        );
+        params.register(
+            "w2",
+            xavier_uniform(cfg.hidden_dim, g.num_classes(), &mut rng),
+        );
+        let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+        let mut train_losses = Vec::new();
+        let mut val_losses = Vec::new();
+        let mut best_val = f64::INFINITY;
+        let mut best_params = params.clone();
+        let mut stall = 0usize;
+        for _ in 0..cfg.epochs {
+            let mut tape = Tape::new();
+            let w = params.leaf_all(&mut tape);
+            let logits = forward_train(&mut tape, &w, &norm_adj, &features, cfg.dropout, &mut rng);
+            let loss = tape.softmax_cross_entropy(logits, &labels, &g.split.train);
+            tape.backward(loss);
+            train_losses.push(tape.scalar(loss));
+            if !g.split.val.is_empty() {
+                let vloss = {
+                    let mut t2 = Tape::new();
+                    let logits_const = t2.constant(tape.value(logits).clone());
+                    let l = t2.softmax_cross_entropy(logits_const, &labels, &g.split.val);
+                    t2.scalar(l)
+                };
+                val_losses.push(vloss);
+                if vloss < best_val - 1e-6 {
+                    best_val = vloss;
+                    stall = 0;
+                    best_params = params.clone();
+                } else {
+                    stall += 1;
+                }
+            }
+            let grads = params.grads(&tape, &w);
+            drop(tape);
+            opt.step(&mut params, &grads);
+            if cfg.patience > 0 && stall >= cfg.patience {
+                break;
+            }
+        }
+        if !val_losses.is_empty() {
+            params = best_params;
+        }
+
+        // --- Trainer-driven fit. ---
+        let model = GcnClassifier::fit(&g, &cfg);
+        assert_eq!(model.train_losses, train_losses, "train-loss trajectory");
+        assert_eq!(model.val_losses, val_losses, "val-loss trajectory");
+        assert_eq!(model.params.get(0), params.get(0), "kept W1");
+        assert_eq!(model.params.get(1), params.get(1), "kept W2");
+    }
+
+    /// The optimizer satellite: the classifier trains under SGD+momentum
+    /// with the same weight-decay config as Adam, via the Optimizer trait.
+    #[test]
+    fn trains_with_sgd_momentum_optimizer() {
+        use aneci_autograd::train::OptimizerKind;
+
+        let g = sbm_with_split(8);
+        let cfg = GcnConfig {
+            epochs: 150,
+            lr: 0.2,
+            optimizer: OptimizerKind::Sgd { momentum: 0.9 },
+            ..Default::default()
+        };
+        let model = GcnClassifier::fit(&g, &cfg);
+        assert!(model.train_losses.last().unwrap() < &model.train_losses[0]);
+        let acc = model.accuracy_on(&g, &g.split.test);
+        assert!(acc > 0.7, "SGD-GCN accuracy {acc}");
     }
 
     #[test]

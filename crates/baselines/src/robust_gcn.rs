@@ -9,10 +9,12 @@
 //! robustness mechanism RGCN's variance-based attention pursues, with a
 //! fraction of the machinery.
 
-use aneci_autograd::{Adam, ParamSet, Tape};
+use aneci_autograd::train::{TrainError, Trainer};
+use aneci_autograd::{Adam, ParamSet, Tape, Var};
 use aneci_graph::AttributedGraph;
 use aneci_linalg::rng::{derive_seed, seeded_rng, xavier_uniform};
 use aneci_linalg::{CsrMatrix, DenseMatrix};
+use aneci_obs::span;
 use rand::Rng;
 use std::sync::Arc;
 
@@ -76,8 +78,15 @@ fn sampled_norm_adjacency(
 
 impl RobustGcn {
     /// Trains on the graph's labelled training split with per-epoch edge
-    /// dropping; inference uses the full graph.
+    /// dropping; inference uses the full graph. Panics on divergence;
+    /// [`RobustGcn::try_fit`] is the non-panicking variant.
     pub fn fit(graph: &AttributedGraph, config: &RobustGcnConfig) -> Self {
+        Self::try_fit(graph, config).expect("DropEdge-GCN training diverged")
+    }
+
+    /// Trains with per-epoch edge dropping, surfacing
+    /// [`TrainError::Diverged`] when the loss goes non-finite.
+    pub fn try_fit(graph: &AttributedGraph, config: &RobustGcnConfig) -> Result<Self, TrainError> {
         assert!(
             (0.0..1.0).contains(&config.drop_edge_rate),
             "drop rate must be in [0, 1)"
@@ -104,34 +113,33 @@ impl RobustGcn {
         );
 
         let mut opt = Adam::new(config.lr).with_weight_decay(config.weight_decay);
-        let mut train_losses = Vec::new();
-        for _ in 0..config.epochs {
+        let mut step = |tape: &mut Tape, w: &[Var], _epoch: usize| -> Var {
             let s = Arc::new(sampled_norm_adjacency(
                 graph,
                 config.drop_edge_rate,
                 &mut rng,
             ));
-            let mut tape = Tape::new();
-            let w = params.leaf_all(&mut tape);
-            let x = tape.constant(features.clone());
-            let xw = tape.matmul(x, w[0]);
-            let h1 = tape.spmm(&s, xw);
-            let a1 = tape.relu(h1);
-            let hw = tape.matmul(a1, w[1]);
-            let logits = tape.spmm(&s, hw);
-            let loss = tape.softmax_cross_entropy(logits, &labels, &graph.split.train);
-            tape.backward(loss);
-            train_losses.push(tape.scalar(loss));
-            let grads = params.grads(&tape, &w);
-            drop(tape);
-            opt.step(&mut params, &grads);
-        }
-        Self {
+            let logits = {
+                let _s = span("encode");
+                let x = tape.constant(features.clone());
+                let xw = tape.matmul(x, w[0]);
+                let h1 = tape.spmm(&s, xw);
+                let a1 = tape.relu(h1);
+                let hw = tape.matmul(a1, w[1]);
+                tape.spmm(&s, hw)
+            };
+            let _s = span("loss");
+            tape.softmax_cross_entropy(logits, &labels, &graph.split.train)
+        };
+        let run = Trainer::new(config.epochs)
+            .observe_as("train.robust_gcn")
+            .run(&mut params, &mut opt, &mut step)?;
+        Ok(Self {
             params,
             norm_adj,
             features,
-            train_losses,
-        }
+            train_losses: run.losses,
+        })
     }
 
     /// Full-graph logits (inference mode, no edge dropping).

@@ -11,10 +11,12 @@
 //!
 //! Two encoder/decoder layers with tanh, trained with Adam.
 
-use aneci_autograd::{Adam, ParamSet, Tape};
+use aneci_autograd::train::{TrainError, Trainer};
+use aneci_autograd::{Adam, ParamSet, Tape, Var};
 use aneci_graph::AttributedGraph;
 use aneci_linalg::rng::{derive_seed, seeded_rng, xavier_uniform};
 use aneci_linalg::DenseMatrix;
+use aneci_obs::span;
 
 /// SDNE hyperparameters.
 #[derive(Clone, Debug)]
@@ -57,8 +59,15 @@ pub struct Sdne {
 }
 
 impl Sdne {
-    /// Trains SDNE on the graph's adjacency rows.
+    /// Trains SDNE on the graph's adjacency rows. Panics on divergence;
+    /// [`Sdne::try_fit`] is the non-panicking variant.
     pub fn fit(graph: &AttributedGraph, config: &SdneConfig) -> Self {
+        Self::try_fit(graph, config).expect("SDNE training diverged")
+    }
+
+    /// Trains SDNE, surfacing [`TrainError::Diverged`] when the loss goes
+    /// non-finite.
+    pub fn try_fit(graph: &AttributedGraph, config: &SdneConfig) -> Result<Self, TrainError> {
         let n = graph.num_nodes();
         let adj = {
             let mut m = DenseMatrix::zeros(n, n);
@@ -91,25 +100,26 @@ impl Sdne {
         params.register("dec2", xavier_uniform(config.hidden_dim, n, &mut rng));
 
         let mut opt = Adam::new(config.lr);
-        let mut losses = Vec::new();
-        for _ in 0..config.epochs {
-            let mut tape = Tape::new();
-            let w = params.leaf_all(&mut tape);
-            let x = tape.constant(adj.clone());
-            let h1 = {
-                let xe = tape.matmul(x, w[0]);
-                tape.tanh(xe)
+        let mut step = |tape: &mut Tape, w: &[Var], _epoch: usize| -> Var {
+            let (z, x_hat) = {
+                let _s = span("encode");
+                let x = tape.constant(adj.clone());
+                let h1 = {
+                    let xe = tape.matmul(x, w[0]);
+                    tape.tanh(xe)
+                };
+                let z = {
+                    let he = tape.matmul(h1, w[1]);
+                    tape.tanh(he)
+                };
+                let d1 = {
+                    let zd = tape.matmul(z, w[2]);
+                    tape.tanh(zd)
+                };
+                (z, tape.matmul(d1, w[3]))
             };
-            let z = {
-                let he = tape.matmul(h1, w[1]);
-                tape.tanh(he)
-            };
-            let d1 = {
-                let zd = tape.matmul(z, w[2]);
-                tape.tanh(zd)
-            };
-            let x_hat = tape.matmul(d1, w[3]);
 
+            let _s = span("loss");
             // Second-order: ‖(X̂ − X) ⊙ B‖² (mean).
             let x2 = tape.constant(adj.clone());
             let diff = tape.sub(x_hat, x2);
@@ -124,13 +134,14 @@ impl Sdne {
             let fo = tape.pair_bce(z, &first_order_pairs);
             let fo_scaled = tape.scale(fo, config.alpha / edges.len().max(1) as f64);
 
-            let loss = tape.add(second, fo_scaled);
-            tape.backward(loss);
-            losses.push(tape.scalar(loss));
-            let grads = params.grads(&tape, &w);
-            drop(tape);
-            opt.step(&mut params, &grads);
-        }
+            tape.add(second, fo_scaled)
+        };
+        let run = Trainer::new(config.epochs).observe_as("train.sdne").run(
+            &mut params,
+            &mut opt,
+            &mut step,
+        )?;
+        let losses = run.losses;
 
         let embedding = {
             let mut tape = Tape::new();
@@ -146,7 +157,7 @@ impl Sdne {
             };
             tape.value(z).clone()
         };
-        Self { embedding, losses }
+        Ok(Self { embedding, losses })
     }
 
     /// The learned embedding.

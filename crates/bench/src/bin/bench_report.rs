@@ -9,10 +9,14 @@
 //!   on and off, measures the telemetry overhead, and dumps the whole
 //!   `aneci-obs` registry (training spans, kernel counters, serve latency
 //!   percentiles) to `BENCH_obs.json`.
+//! * `--train` A/Bs the shared `Trainer` engine against the retained
+//!   pre-refactor reference loop (`AneciModel::train_reference`) — per-epoch
+//!   wall time of each plus a bit-exact trajectory parity check — and
+//!   writes `BENCH_train.json`.
 //!
 //! Run with `cargo run --release -p aneci-bench --bin bench_report
-//! [-- --serve | -- --obs]`. `ANECI_NUM_THREADS` caps the pooled
-//! measurements as usual.
+//! [-- --serve | -- --obs | -- --train]`. `ANECI_NUM_THREADS` caps the
+//! pooled measurements as usual.
 
 use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
 use aneci_linalg::{par, pool, CsrMatrix, DenseMatrix};
@@ -73,6 +77,8 @@ fn main() {
         serve_bench();
     } else if args.iter().any(|a| a == "--obs") {
         obs_bench();
+    } else if args.iter().any(|a| a == "--train") {
+        train_bench();
     } else {
         kernel_bench();
     }
@@ -369,6 +375,77 @@ fn serve_bench() {
     assert!(
         recall >= 0.95,
         "ANN recall@10 regressed below the 0.95 acceptance bar: {recall:.4}"
+    );
+}
+
+/// Training-engine benchmark: the shared `Trainer` driver vs the retained
+/// pre-refactor hand-rolled loop on the quickstart workload. Checks the two
+/// produce bit-identical trajectories (the refactor's core guarantee) and
+/// reports the per-epoch wall time of each to `BENCH_train.json`.
+fn train_bench() {
+    use aneci_core::{AneciConfig, AneciModel};
+    use aneci_graph::karate_club;
+
+    pool::force_pool();
+    let threads = pool::num_threads();
+    let graph = karate_club();
+    let config = AneciConfig::for_community_detection(2, 42);
+    let epochs = config.epochs;
+
+    // Warm-up: pool spin-up and allocator effects land outside the A/B.
+    black_box(
+        AneciModel::new(&graph, &config)
+            .train(None)
+            .expect("training failed"),
+    );
+
+    let reps = 5;
+    let new_ns = time_best(reps, || {
+        let mut model = AneciModel::new(&graph, &config);
+        black_box(model.train(None).expect("training failed"));
+    });
+    let old_ns = time_best(reps, || {
+        let mut model = AneciModel::new(&graph, &config);
+        black_box(model.train_reference(None));
+    });
+    let overhead_pct = (new_ns as f64 - old_ns as f64) / old_ns.max(1) as f64 * 100.0;
+
+    // Parity: the engine must retrace the reference loop bit for bit.
+    let mut new_model = AneciModel::new(&graph, &config);
+    let new_report = new_model.train(None).expect("training failed");
+    let mut old_model = AneciModel::new(&graph, &config);
+    let old_report = old_model.train_reference(None);
+    let parity = new_report.losses == old_report.losses
+        && new_report.modularity == old_report.modularity
+        && new_report.rigidity == old_report.rigidity
+        && new_report.best_epoch == old_report.best_epoch
+        && new_report.epochs_run == old_report.epochs_run
+        && new_model.embedding() == old_model.embedding();
+
+    let report = serde_json::json!({
+        "threads": threads,
+        "epochs": epochs,
+        "reference_ms": old_ns as f64 / 1e6,
+        "trainer_ms": new_ns as f64 / 1e6,
+        "reference_per_epoch_us": old_ns as f64 / 1e3 / epochs.max(1) as f64,
+        "trainer_per_epoch_us": new_ns as f64 / 1e3 / epochs.max(1) as f64,
+        "overhead_pct": overhead_pct,
+        "bit_exact_parity": parity,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .expect("failed to write BENCH_train.json");
+
+    println!("wrote {path} ({threads} threads, {epochs} epochs)");
+    println!(
+        "  reference loop {:.2} ms, shared trainer {:.2} ms — overhead {overhead_pct:+.2}%",
+        old_ns as f64 / 1e6,
+        new_ns as f64 / 1e6,
+    );
+    println!("  bit-exact parity: {parity}");
+    assert!(
+        parity,
+        "Trainer diverged from the reference loop — the refactor's bit-exactness guarantee broke"
     );
 }
 

@@ -79,7 +79,8 @@ pub fn run(args: &ExpArgs) {
                 let (aneci, _) = train_aneci(&poisoned, &config).unwrap();
                 per_method[4].push(classify(&poisoned, aneci.embedding(), seed));
 
-                let plus = aneci_plus(&poisoned, &config, &DenoiseConfig::default(), None);
+                let plus = aneci_plus(&poisoned, &config, &DenoiseConfig::default(), None)
+                    .expect("AnECI+ failed");
                 per_method[5].push(classify(&poisoned, plus.model.embedding(), seed));
             }
             let means: Vec<f64> = per_method.iter().map(|s| mean(s)).collect();

@@ -31,7 +31,7 @@ pub fn run(args: &ExpArgs) {
                 ..Default::default()
             };
             let mut model = AneciModel::new(&attacked, &config);
-            model.train(None);
+            model.train(None).expect("training failed");
             accs.push(classify(&attacked, model.embedding(), seed));
         }
         rows_a.push(vec![hops.to_string(), format!("{:.3}", mean(&accs))]);
@@ -71,7 +71,7 @@ pub fn run(args: &ExpArgs) {
     let mut probe = |_epoch: usize, z: &aneci_linalg::DenseMatrix| {
         evaluate_embedding(z, &labels, &train, &test, k, seed)
     };
-    let report = model.train(Some(&mut probe));
+    let report = model.train(Some(&mut probe)).expect("training failed");
 
     let mut rows_b = Vec::new();
     let mut csv_b = Vec::new();

@@ -76,7 +76,7 @@ impl Variant {
                     ..Default::default()
                 };
                 let mut model = AneciModel::new(graph, &config);
-                model.train(None);
+                model.train(None).expect("training failed");
                 model.embedding().clone()
             }
             Self::Full => {
@@ -87,7 +87,7 @@ impl Variant {
                     ..Default::default()
                 };
                 let mut model = AneciModel::new(graph, &config);
-                model.train(None);
+                model.train(None).expect("training failed");
                 model.embedding().clone()
             }
         }

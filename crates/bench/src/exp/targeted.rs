@@ -112,7 +112,8 @@ fn victim_accuracies(poisoned: &AttributedGraph, targets: &[usize], seed: u64) -
     let (aneci, _) = train_aneci(poisoned, &config).unwrap();
     out.push(classify_subset(poisoned, aneci.embedding(), targets, seed));
 
-    let plus = aneci_plus(poisoned, &config, &DenoiseConfig::default(), None);
+    let plus =
+        aneci_plus(poisoned, &config, &DenoiseConfig::default(), None).expect("AnECI+ failed");
     out.push(classify_subset(
         poisoned,
         plus.model.embedding(),

@@ -176,11 +176,11 @@ pub fn aneci_classification_embedding(graph: &AttributedGraph, seed: u64) -> Den
     let (train, val) = (graph.split.train.clone(), graph.split.val.clone());
     let mut model = AneciModel::new(graph, &config);
     if val.is_empty() {
-        model.train(None);
+        model.train(None).expect("training failed");
     } else {
         let mut probe =
             |_epoch: usize, z: &DenseMatrix| evaluate_embedding(z, &labels, &train, &val, k, seed);
-        model.train(Some(&mut probe));
+        model.train(Some(&mut probe)).expect("training failed");
     }
     model.embedding().clone()
 }

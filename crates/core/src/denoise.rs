@@ -15,6 +15,7 @@
 
 use crate::anomaly::edge_anomaly_scores;
 use crate::config::AneciConfig;
+use crate::error::AneciError;
 use crate::model::{AneciModel, TrainReport, ValProbe};
 use aneci_graph::AttributedGraph;
 use serde::{Deserialize, Serialize};
@@ -65,19 +66,20 @@ pub struct DenoiseResult {
 }
 
 /// Runs AnECI+ (Algorithm 1). `val_score` is the same optional validation
-/// probe accepted by [`AneciModel::train`], applied in both stages.
+/// probe accepted by [`AneciModel::train`], applied in both stages. Errors
+/// propagate from either training stage (e.g. [`AneciError::Diverged`]).
 pub fn aneci_plus(
     graph: &AttributedGraph,
     config: &AneciConfig,
     denoise: &DenoiseConfig,
     mut val_score: Option<ValProbe<'_>>,
-) -> DenoiseResult {
+) -> Result<DenoiseResult, AneciError> {
     // --- Stage 1: embed the observed graph. ---
     let mut stage1 = AneciModel::new(graph, config);
     let stage1_report = match val_score.as_mut() {
         Some(f) => stage1.train(Some(&mut **f)),
         None => stage1.train(None),
-    };
+    }?;
     let z = stage1.embedding();
 
     // --- Score edges and pick the drop ratio. ---
@@ -104,16 +106,16 @@ pub fn aneci_plus(
     let stage2_report = match val_score.as_mut() {
         Some(f) => model.train(Some(&mut **f)),
         None => model.train(None),
-    };
+    }?;
 
-    DenoiseResult {
+    Ok(DenoiseResult {
         denoised_graph,
         removed_edges,
         drop_ratio,
         stage1_report,
         stage2_report,
         model,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -172,7 +174,8 @@ mod tests {
                 gamma: 0.75,
             },
             None,
-        );
+        )
+        .unwrap();
         // The removed set must be enriched in fakes relative to chance:
         // fakes are 20/98 ≈ 20% of edges; demand ≥ 1.5× enrichment.
         let removed_fakes = result
@@ -196,7 +199,7 @@ mod tests {
             beta: 0.0,
             gamma: 0.3,
         };
-        let result = aneci_plus(&g, &quick_config(4), &d, None);
+        let result = aneci_plus(&g, &quick_config(4), &d, None).unwrap();
         assert!(result.drop_ratio <= 0.3 + 1e-12);
         assert!(
             result.removed_edges.len() <= (0.3 * g.num_edges() as f64).floor() as usize,
@@ -210,7 +213,7 @@ mod tests {
     #[test]
     fn stage2_model_is_trained() {
         let g = karate_club();
-        let result = aneci_plus(&g, &quick_config(5), &DenoiseConfig::default(), None);
+        let result = aneci_plus(&g, &quick_config(5), &DenoiseConfig::default(), None).unwrap();
         // Embedding accessible and finite — train() ran on stage 2.
         assert!(result.model.embedding().all_finite());
         assert_eq!(result.stage2_report.epochs_run, 60);

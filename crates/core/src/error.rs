@@ -8,6 +8,7 @@
 //! and `train_aneci`.
 
 use crate::checkpoint::CheckpointError;
+use aneci_autograd::train::TrainError;
 use std::error::Error;
 use std::fmt;
 use std::io;
@@ -27,6 +28,15 @@ pub enum AneciError {
     Io(io::Error),
     /// The model has no kept embedding yet — `train()` has not run.
     Untrained,
+    /// Training produced a non-finite loss; the parameters were rolled back
+    /// to the last state that produced a finite loss (see
+    /// [`aneci_autograd::train::TrainError::Diverged`]).
+    Diverged {
+        /// Epoch at which the non-finite value appeared.
+        epoch: usize,
+        /// The offending loss value (NaN or ±∞).
+        loss: f64,
+    },
 }
 
 impl fmt::Display for AneciError {
@@ -39,6 +49,11 @@ impl fmt::Display for AneciError {
             AneciError::Untrained => {
                 write!(f, "model has no kept embedding — call train() first")
             }
+            AneciError::Diverged { epoch, loss } => write!(
+                f,
+                "training diverged at epoch {epoch} (loss = {loss}); \
+                 parameters restored to the last finite state"
+            ),
         }
     }
 }
@@ -68,6 +83,18 @@ impl From<CheckpointError> for AneciError {
 impl From<io::Error> for AneciError {
     fn from(e: io::Error) -> Self {
         AneciError::Io(e)
+    }
+}
+
+/// The shared training engine's failures surface through the core API.
+impl From<TrainError> for AneciError {
+    fn from(e: TrainError) -> Self {
+        match e {
+            TrainError::Diverged { epoch, loss } => AneciError::Diverged { epoch, loss },
+            TrainError::DuplicateParam(name) => {
+                AneciError::Config(format!("duplicate parameter name '{name}'"))
+            }
+        }
     }
 }
 

@@ -21,6 +21,7 @@
 use crate::checkpoint::Checkpoint;
 use crate::config::{AneciConfig, ReconMode, StopStrategy};
 use crate::error::AneciError;
+use aneci_autograd::train::{Objective, StepOutput, StopRule, TrainStep, Trainer};
 use aneci_autograd::{Adam, BcePair, ParamSet, Tape, Var};
 use aneci_graph::{AttributedGraph, HighOrder};
 use aneci_linalg::rng::{derive_seed, seeded_rng, xavier_uniform};
@@ -194,11 +195,72 @@ impl AneciModel {
         }
     }
 
-    /// Trains the model. `val_score`, when given, maps `(epoch, Z)` to a
-    /// validation score (higher is better) and drives the
-    /// [`StopStrategy::ValidationBest`] checkpointing; without it, the
-    /// lowest-loss epoch is kept instead.
-    pub fn train(&mut self, mut val_score: Option<ValProbe<'_>>) -> TrainReport {
+    /// Trains the model through the shared [`Trainer`] engine. `val_score`,
+    /// when given, maps `(epoch, Z)` to a validation score (higher is
+    /// better) and drives the [`StopStrategy::ValidationBest`]
+    /// checkpointing; without it, the lowest-loss epoch is kept instead.
+    ///
+    /// Errors with [`AneciError::Diverged`] when the loss goes non-finite;
+    /// the parameters are rolled back to the last finite state, so the
+    /// model remains usable (e.g. for a warm restart at a lower LR).
+    pub fn train(&mut self, val_score: Option<ValProbe<'_>>) -> Result<TrainReport, AneciError> {
+        let stop = match self.config.stop {
+            StopStrategy::FixedEpochs => StopRule::FixedEpochs,
+            // The probe score is maximized; the loss fallback is minimized.
+            // Both keep the hand-rolled loop's strict comparison (margin 0).
+            StopStrategy::ValidationBest { .. } => StopRule::BestMonitor {
+                objective: if val_score.is_some() {
+                    Objective::Maximize
+                } else {
+                    Objective::Minimize
+                },
+                patience: 0,
+                min_delta: 0.0,
+            },
+            // patience 0 used to stop on the first stalled epoch; under the
+            // engine (where 0 means "never stop") that is patience 1.
+            StopStrategy::EarlyStopModularity { patience } => StopRule::BestMonitor {
+                objective: Objective::Maximize,
+                patience: patience.max(1),
+                min_delta: 1e-9,
+            },
+        };
+        let trainer = Trainer::new(self.config.epochs)
+            .stop(stop)
+            .observe_as("core.train");
+        let mut opt = Adam::new(self.config.lr).with_weight_decay(self.config.weight_decay);
+
+        let mut params = std::mem::take(&mut self.params);
+        let mut driver = AneciStep {
+            rng: seeded_rng(derive_seed(self.config.seed, 0x5A3)),
+            val_score,
+            report: TrainReport::default(),
+            obs_q: aneci_obs::histogram("core.train.q_tilde"),
+            obs_dq: aneci_obs::histogram("core.train.delta_q"),
+            prev_q: None,
+            cur_z: None,
+            best_z: None,
+            model: self,
+        };
+        let outcome = trainer.run(&mut params, &mut opt, &mut driver);
+        let AneciStep {
+            mut report, best_z, ..
+        } = driver;
+        self.params = params;
+        let run = outcome?;
+        report.losses = run.losses;
+        report.best_epoch = run.best_epoch;
+        report.epochs_run = run.epochs_run;
+        self.best_embedding = best_z;
+        Ok(report)
+    }
+
+    /// The pre-`Trainer` hand-rolled epoch loop, kept verbatim so
+    /// `tests/trainer_parity.rs` and `bench_report --train` can prove at
+    /// runtime that [`AneciModel::train`] reproduces it bit-exactly (same
+    /// tape op order, same RNG stream, same Adam update order).
+    #[doc(hidden)]
+    pub fn train_reference(&mut self, mut val_score: Option<ValProbe<'_>>) -> TrainReport {
         let _train_span = span("core.train");
         // Cached registry handles: one hash-free atomic add per observation
         // inside the epoch loop. Per-epoch loss/Q̃/grad-norm values are
@@ -462,6 +524,88 @@ impl AneciModel {
     }
 }
 
+/// Drives [`AneciModel::train`] through the shared [`Trainer`]: builds the
+/// joint loss on each epoch's fresh tape and carries the model-specific
+/// bookkeeping (per-epoch report vectors, Q̃ telemetry, validation probing
+/// and the kept embedding) through the engine's hooks.
+struct AneciStep<'m, 'v> {
+    model: &'m AneciModel,
+    rng: StdRng,
+    val_score: Option<ValProbe<'v>>,
+    report: TrainReport,
+    obs_q: aneci_obs::Histogram,
+    obs_dq: aneci_obs::Histogram,
+    prev_q: Option<f64>,
+    cur_z: Option<DenseMatrix>,
+    best_z: Option<DenseMatrix>,
+}
+
+impl TrainStep for AneciStep<'_, '_> {
+    fn step(&mut self, tape: &mut Tape, w: &[Var], epoch: usize) -> StepOutput {
+        let m = self.model;
+        let (z, p) = {
+            let _s = span("encode");
+            m.forward(tape, w)
+        };
+        let q = {
+            let _s = span("modularity");
+            m.modularity_var(tape, p)
+        };
+        let recon = {
+            let _s = span("decode");
+            m.recon_var(tape, p, &mut self.rng)
+        };
+        let neg_q = tape.neg(q);
+        let q_term = tape.scale(neg_q, m.config.beta1);
+        let r_term = tape.scale(recon, m.config.beta2);
+        let loss = tape.add(q_term, r_term);
+
+        let loss_val = tape.scalar(loss);
+        let q_val = tape.scalar(q);
+        let z_val = tape.value(z).clone();
+        let p_val = tape.value(p).clone();
+
+        self.obs_q.observe(q_val);
+        self.obs_dq.observe(q_val - self.prev_q.unwrap_or(q_val));
+        self.prev_q = Some(q_val);
+        self.report.modularity.push(q_val);
+        self.report.rigidity.push(rigidity(&p_val));
+
+        let monitor = match m.config.stop {
+            StopStrategy::FixedEpochs => None,
+            // "observed modularity training loss": improvement means Q̃
+            // rising (margin 1e-9, set on the StopRule).
+            StopStrategy::EarlyStopModularity { .. } => Some(q_val),
+            StopStrategy::ValidationBest { eval_every } => {
+                // Keep the first embedding until a probe improves on it,
+                // mirroring the reference loop's between-probe fill-in.
+                if self.best_z.is_none() {
+                    self.best_z = Some(z_val.clone());
+                }
+                let probe = epoch % eval_every == eval_every - 1 || epoch + 1 == m.config.epochs;
+                if probe {
+                    match self.val_score.as_mut() {
+                        Some(f) => {
+                            let score = f(epoch, &z_val);
+                            self.report.val_scores.push((epoch, score));
+                            Some(score)
+                        }
+                        None => Some(loss_val),
+                    }
+                } else {
+                    None
+                }
+            }
+        };
+        self.cur_z = Some(z_val);
+        StepOutput { loss, monitor }
+    }
+
+    fn on_best(&mut self, _epoch: usize, _params: &ParamSet) {
+        self.best_z = self.cur_z.clone();
+    }
+}
+
 /// Rigidity index `tr(PᵀP)/N` (Sec. VI-E3): 1 ⟺ hard partition.
 pub fn rigidity(p: &DenseMatrix) -> f64 {
     if p.rows() == 0 {
@@ -477,7 +621,7 @@ pub fn train_aneci(
     config: &AneciConfig,
 ) -> Result<(AneciModel, TrainReport), AneciError> {
     let mut model = AneciModel::try_new(graph, config)?;
-    let report = model.train(None);
+    let report = model.train(None)?;
     Ok((model, report))
 }
 
@@ -653,7 +797,7 @@ mod tests {
         let mut model = AneciModel::new(&g, &cfg);
         // A synthetic validation score that prefers epoch 14.
         let mut cb = |epoch: usize, _z: &DenseMatrix| -(epoch as f64 - 14.0).abs();
-        let report = model.train(Some(&mut cb));
+        let report = model.train(Some(&mut cb)).unwrap();
         assert_eq!(report.best_epoch, 14);
         assert!(!report.val_scores.is_empty());
     }

@@ -82,7 +82,8 @@ fn main() {
     );
 
     // AnECI+ (Algorithm 1): score edges, drop the most anomalous, retrain.
-    let plus = aneci_plus(&attack.graph, &aneci_cfg, &DenoiseConfig::default(), None);
+    let plus = aneci_plus(&attack.graph, &aneci_cfg, &DenoiseConfig::default(), None)
+        .expect("AnECI+ failed");
     let removed_fakes = plus
         .removed_edges
         .iter()

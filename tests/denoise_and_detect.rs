@@ -51,7 +51,8 @@ fn denoising_enriches_fake_edge_removal() {
             gamma: 0.75,
         },
         None,
-    );
+    )
+    .unwrap();
     assert!(!result.removed_edges.is_empty());
     let removed_fakes = result
         .removed_edges
@@ -78,7 +79,8 @@ fn denoising_reduces_fake_edge_count() {
         &quick_cfg(2),
         &DenoiseConfig::default(),
         None,
-    );
+    )
+    .unwrap();
     let surviving_fakes = attack
         .fake_edges
         .iter()
@@ -128,7 +130,8 @@ fn full_pipeline_is_reproducible() {
             &quick_cfg(9),
             &DenoiseConfig::default(),
             None,
-        );
+        )
+        .unwrap();
         (
             attack.fake_edges.clone(),
             result.removed_edges.clone(),

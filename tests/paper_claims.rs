@@ -41,7 +41,7 @@ fn accuracy_with_order(graph: &AttributedGraph, order: usize, seed: u64) -> f64 
         ..Default::default()
     };
     let mut model = AneciModel::new(graph, &config);
-    model.train(None);
+    model.train(None).unwrap();
     let labels = graph.labels.as_ref().unwrap();
     evaluate_embedding(
         model.embedding(),
@@ -89,7 +89,7 @@ fn rigidity_rises_toward_hard_partition() {
         ..Default::default()
     };
     let mut model = AneciModel::new(&g, &config);
-    let report = model.train(None);
+    let report = model.train(None).unwrap();
     let early = report.rigidity[2];
     let late = *report.rigidity.last().unwrap();
     assert!(early < 0.9, "rigidity starts soft: {early:.3}");

@@ -1,0 +1,185 @@
+//! Parity and robustness guarantees of the shared training engine.
+//!
+//! The `Trainer` refactor moved every per-model epoch loop into one driver
+//! (`aneci_autograd::train`). These tests pin down the three properties the
+//! migration promised:
+//!
+//! 1. **Bit-exact trajectories** — [`AneciModel::train`] (Trainer-driven)
+//!    reproduces [`AneciModel::train_reference`] (the pre-refactor
+//!    hand-rolled loop, kept verbatim for exactly this comparison)
+//!    bit-for-bit under every stop strategy.
+//! 2. **Thread invariance** — trajectories do not depend on how many pool
+//!    workers participate (`ANECI_NUM_THREADS` / `set_num_threads`).
+//! 3. **Typed divergence** — models that previously trained through NaNs
+//!    (Dominant, DONE) now surface a clean [`TrainError::Diverged`].
+
+use std::sync::Mutex;
+
+use aneci::autograd::train::TrainError;
+use aneci::baselines::{Dominant, DominantConfig, Done, DoneConfig, Gae, GaeConfig};
+use aneci::core::{AneciConfig, AneciModel, StopStrategy, TrainReport};
+use aneci::graph::karate_club;
+use aneci::linalg::pool;
+use aneci::linalg::DenseMatrix;
+
+/// The thread-invariance test mutates process-global pool configuration;
+/// every test in this binary takes this lock so an A/B comparison never sees
+/// the dispatch mode change between its two runs.
+static POOL_CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+fn quick_cfg(stop: StopStrategy, seed: u64) -> AneciConfig {
+    AneciConfig {
+        hidden_dim: 16,
+        embed_dim: 4,
+        epochs: 50,
+        stop,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Every field of the two reports must match exactly — no tolerance.
+fn assert_reports_identical(new: &TrainReport, old: &TrainReport) {
+    assert_eq!(new.losses, old.losses, "loss trajectories differ");
+    assert_eq!(new.modularity, old.modularity, "modularity differs");
+    assert_eq!(new.rigidity, old.rigidity, "rigidity differs");
+    assert_eq!(new.val_scores, old.val_scores, "val scores differ");
+    assert_eq!(new.best_epoch, old.best_epoch, "best epoch differs");
+    assert_eq!(new.epochs_run, old.epochs_run, "epochs run differ");
+}
+
+#[test]
+fn fixed_epochs_matches_reference_loop_bit_exactly() {
+    let _guard = POOL_CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let g = karate_club();
+    let cfg = quick_cfg(StopStrategy::FixedEpochs, 42);
+
+    let mut new = AneciModel::new(&g, &cfg);
+    let new_report = new.train(None).unwrap();
+    let mut old = AneciModel::new(&g, &cfg);
+    let old_report = old.train_reference(None);
+
+    assert_reports_identical(&new_report, &old_report);
+    assert_eq!(new.embedding(), old.embedding(), "embeddings differ");
+}
+
+#[test]
+fn early_stop_modularity_matches_reference_loop_bit_exactly() {
+    let _guard = POOL_CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let g = karate_club();
+    let cfg = quick_cfg(StopStrategy::EarlyStopModularity { patience: 8 }, 7);
+
+    let mut new = AneciModel::new(&g, &cfg);
+    let new_report = new.train(None).unwrap();
+    let mut old = AneciModel::new(&g, &cfg);
+    let old_report = old.train_reference(None);
+
+    assert_reports_identical(&new_report, &old_report);
+    assert_eq!(new.embedding(), old.embedding(), "embeddings differ");
+}
+
+#[test]
+fn validation_best_matches_reference_loop_bit_exactly() {
+    let _guard = POOL_CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let g = karate_club();
+    let cfg = quick_cfg(StopStrategy::ValidationBest { eval_every: 10 }, 3);
+
+    // A deterministic stand-in probe: spread of the first embedding column.
+    let probe = |_epoch: usize, z: &DenseMatrix| -> f64 {
+        let col: Vec<f64> = (0..z.rows()).map(|i| z.get(i, 0)).collect();
+        let mean = col.iter().sum::<f64>() / col.len() as f64;
+        col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+    };
+
+    let mut new = AneciModel::new(&g, &cfg);
+    let mut p1 = probe;
+    let new_report = new.train(Some(&mut p1)).unwrap();
+    let mut old = AneciModel::new(&g, &cfg);
+    let mut p2 = probe;
+    let old_report = old.train_reference(Some(&mut p2));
+
+    assert_reports_identical(&new_report, &old_report);
+    assert_eq!(new.embedding(), old.embedding(), "embeddings differ");
+    assert!(
+        !new_report.val_scores.is_empty(),
+        "the probe should have run at least once"
+    );
+}
+
+#[test]
+fn training_is_invariant_to_kernel_thread_count() {
+    let _guard = POOL_CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let g = karate_club();
+    let cfg = quick_cfg(StopStrategy::FixedEpochs, 11);
+    let gae_cfg = GaeConfig {
+        epochs: 30,
+        seed: 11,
+        ..Default::default()
+    };
+
+    // Serial dispatch (one thread) legitimately rounds reductions differently
+    // from pooled dispatch: `DenseMatrix::sum`/`dot` use a strict
+    // left-to-right sum serially but chunk-ordered partials when pooled. The
+    // invariance contract under test is the pooled one: the chunk
+    // decomposition — and therefore the training trajectory — depends only on
+    // `(items, grain)`, never on how many workers participate. So compare two
+    // pooled worker counts (force_pool also drops the par threshold to 1, so
+    // karate-sized work genuinely takes the chunked paths).
+    pool::force_pool();
+
+    pool::set_num_threads(2);
+    let two_aneci = {
+        let mut m = AneciModel::new(&g, &cfg);
+        m.train(None).unwrap().losses
+    };
+    let two_gae = Gae::fit(&g, &gae_cfg).losses;
+
+    pool::set_num_threads(4);
+    let four_aneci = {
+        let mut m = AneciModel::new(&g, &cfg);
+        m.train(None).unwrap().losses
+    };
+    let four_gae = Gae::fit(&g, &gae_cfg).losses;
+
+    assert_eq!(two_aneci, four_aneci, "AnECI depends on thread count");
+    assert_eq!(two_gae, four_gae, "GAE depends on thread count");
+}
+
+#[test]
+fn dominant_divergence_is_a_typed_error() {
+    let _guard = POOL_CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let g = karate_club();
+    let cfg = DominantConfig {
+        lr: 1e200,
+        epochs: 20,
+        ..Default::default()
+    };
+    match Dominant::try_fit(&g, &cfg) {
+        Err(TrainError::Diverged { epoch, loss }) => {
+            assert!(epoch < 20, "diverged late: epoch {epoch}");
+            assert!(!loss.is_finite(), "reported loss should be non-finite");
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+        Ok(_) => panic!("expected Dominant to diverge at lr = 1e200"),
+    }
+}
+
+#[test]
+fn done_divergence_is_a_typed_error() {
+    let _guard = POOL_CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let g = karate_club();
+    let cfg = DoneConfig {
+        lr: 1e200,
+        rounds: 2,
+        epochs_per_round: 15,
+        ..Default::default()
+    };
+    match Done::try_fit(&g, &cfg) {
+        Err(TrainError::Diverged { epoch, loss }) => {
+            assert!(epoch < 15, "diverged late: epoch {epoch}");
+            assert!(!loss.is_finite(), "reported loss should be non-finite");
+        }
+        Err(other) => panic!("unexpected error: {other}"),
+        Ok(_) => panic!("expected DONE to diverge at lr = 1e200"),
+    }
+}
