@@ -44,7 +44,7 @@ impl ParamSet {
         value: DenseMatrix,
     ) -> Result<usize, TrainError> {
         let name = name.into();
-        if self.names.iter().any(|n| *n == name) {
+        if self.names.contains(&name) {
             return Err(TrainError::DuplicateParam(name));
         }
         self.names.push(name);

@@ -94,6 +94,21 @@ fn sigmoid(x: f64) -> f64 {
     }
 }
 
+/// Sums `f` over the same `grain`-sized chunks `pool::parallel_map_chunks`
+/// would use, in the same order, without touching the pool. Loss reductions
+/// use this as their below-threshold path so the float association — and
+/// therefore the result — never depends on the thread count.
+fn serial_chunked_sum(items: usize, grain: usize, f: impl Fn(usize, usize) -> f64) -> f64 {
+    let mut total = 0.0;
+    let mut lo = 0;
+    while lo < items {
+        let hi = (lo + grain.max(1)).min(items);
+        total += f(lo, hi);
+        lo = hi;
+    }
+    total
+}
+
 /// The recording tape. Create one per forward pass (graphs are dynamic).
 #[derive(Default)]
 pub struct Tape {
@@ -415,12 +430,14 @@ impl Tape {
             }
             loss
         };
+        // Both paths reduce over the same fixed chunk decomposition in the
+        // same order, so the loss is bit-identical across thread counts;
+        // the threshold only decides whether the chunks run pooled.
+        let grain = pool::row_grain(n, 1);
         let loss = if pool::should_parallelize(n * n * d) {
-            pool::parallel_map_chunks(n, pool::row_grain(n, 1), row_loss)
-                .iter()
-                .sum()
+            pool::parallel_map_chunks(n, grain, row_loss).iter().sum()
         } else {
-            row_loss(0, n)
+            serial_chunked_sum(n, grain, row_loss)
         };
         let value = DenseMatrix::from_vec(1, 1, vec![loss]);
         let rg = self.requires(p);
@@ -455,12 +472,16 @@ impl Tape {
             }
             loss
         };
+        // Same fixed-decomposition reduction as `dense_recon_bce`: identical
+        // chunk partial sums on both paths, so the loss is thread-count
+        // invariant.
+        let grain = pool::row_grain(pairs.len(), 64);
         let loss = if pool::should_parallelize(pairs.len() * pv.cols()) {
-            pool::parallel_map_chunks(pairs.len(), pool::row_grain(pairs.len(), 64), pair_loss)
+            pool::parallel_map_chunks(pairs.len(), grain, pair_loss)
                 .iter()
                 .sum()
         } else {
-            pair_loss(0, pairs.len())
+            serial_chunked_sum(pairs.len(), grain, pair_loss)
         };
         let value = DenseMatrix::from_vec(1, 1, vec![loss]);
         let rg = self.requires(p);

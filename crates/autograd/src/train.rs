@@ -85,21 +85,16 @@ impl Optimizer for Adam {
 /// Declarative optimizer choice for model configs: lets e.g. the GCN
 /// classifier swap Adam for SGD(+momentum) without changing its training
 /// code, with weight decay supported uniformly by both.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum OptimizerKind {
     /// Adam with standard β₁/β₂/ε.
+    #[default]
     Adam,
     /// SGD with classical momentum (0 disables momentum).
     Sgd {
         /// Momentum coefficient.
         momentum: f64,
     },
-}
-
-impl Default for OptimizerKind {
-    fn default() -> Self {
-        OptimizerKind::Adam
-    }
 }
 
 impl OptimizerKind {
@@ -607,6 +602,7 @@ mod tests {
     #[test]
     fn early_stop_fires_on_stalled_monitor() {
         struct Stalled {
+            #[allow(clippy::type_complexity)]
             inner: Box<dyn FnMut(&mut Tape, &[Var], usize) -> Var>,
         }
         impl TrainStep for Stalled {

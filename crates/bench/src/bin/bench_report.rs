@@ -1,7 +1,12 @@
 //! Perf smoke benchmarks, machine-readable from PR to PR.
 //!
-//! * Default mode times each hot kernel serially and through the persistent
-//!   pool and writes `BENCH_kernels.json` at the repo root.
+//! * Default mode (also `--kernels`) times each hot kernel serially and
+//!   through the persistent pool, times the SIMD vector kernels against
+//!   their scalar references (`simd_vs_scalar` section), and writes
+//!   `BENCH_kernels.json` at the repo root. It is also the perf regression
+//!   gate: the process exits non-zero if any kernel's pooled speedup drops
+//!   below 1.0× (or, with SIMD active, any SIMD kernel is slower than its
+//!   scalar reference).
 //! * `--serve` times the serving subsystem — exact vs HNSW top-k on a
 //!   Cora-scale embedding, plus end-to-end JSONL engine throughput — and
 //!   writes `BENCH_serve.json` (including the measured ANN recall@10).
@@ -15,11 +20,13 @@
 //!   writes `BENCH_train.json`.
 //!
 //! Run with `cargo run --release -p aneci-bench --bin bench_report
-//! [-- --serve | -- --obs | -- --train]`. `ANECI_NUM_THREADS` caps the
-//! pooled measurements as usual.
+//! [-- --kernels | -- --serve | -- --obs | -- --train]`. `ANECI_NUM_THREADS`
+//! caps the pooled measurements as usual; `ANECI_NO_SIMD=1` forces the
+//! scalar fallback (the `simd_vs_scalar` section then reports
+//! `active: false` and is excluded from the gate).
 
 use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
-use aneci_linalg::{par, pool, CsrMatrix, DenseMatrix};
+use aneci_linalg::{par, pool, simd, vector, CsrMatrix, DenseMatrix};
 use rand::Rng;
 use std::hint::black_box;
 use std::time::Instant;
@@ -58,6 +65,18 @@ fn time_both(reps: usize, mut f: impl FnMut()) -> (u64, u64) {
     (serial, pooled)
 }
 
+/// `(reference_ns, pooled_ns)` for `prune_top_k` at one `k`.
+fn time_prune(s: &CsrMatrix, k: usize) -> (u64, u64) {
+    let serial = time_best(5, || {
+        black_box(s.prune_top_k_reference(k));
+    });
+    pool::set_par_threshold(1);
+    let pooled = time_best(5, || {
+        black_box(s.prune_top_k_per_row(k));
+    });
+    (serial, pooled)
+}
+
 /// Random sparse square matrix with ~`deg` entries per row.
 fn random_csr(n: usize, deg: usize, seed: u64) -> CsrMatrix {
     let mut rng = seeded_rng(seed);
@@ -80,6 +99,8 @@ fn main() {
     } else if args.iter().any(|a| a == "--train") {
         train_bench();
     } else {
+        // Default, also reachable explicitly as `--kernels` (the regression
+        // gate invocation used by the verify checklist).
         kernel_bench();
     }
 }
@@ -87,18 +108,27 @@ fn main() {
 fn kernel_bench() {
     pool::force_pool();
     let threads = pool::num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if threads > cores {
+        eprintln!(
+            "warning: pool runs {threads} threads but the machine reports only {cores} \
+             hardware core(s); pooled timings oversubscribe and understate real speedups"
+        );
+    }
     let mut rng = seeded_rng(7);
     let mut rows: Vec<Row> = Vec::new();
 
     // Dense matmul: serial reference is the pre-pool naive i-k-j kernel.
-    for &n in &[256usize, 512] {
+    // The 256 case is fast enough to be scheduler-noise-prone on a busy
+    // box, so it gets more reps than the larger shapes.
+    for &(n, reps) in &[(256usize, 13), (512, 7)] {
         let a = gaussian_matrix(n, n, 1.0, &mut rng);
         let b = gaussian_matrix(n, n, 1.0, &mut rng);
-        let serial = time_best(3, || {
+        let serial = time_best(reps, || {
             black_box(a.matmul(&b));
         });
         pool::set_par_threshold(1);
-        let pooled = time_best(3, || {
+        let pooled = time_best(reps, || {
             black_box(par::matmul(&a, &b));
         });
         rows.push(Row {
@@ -162,10 +192,16 @@ fn kernel_bench() {
         });
     }
 
-    // CSR transpose and top-k pruning.
+    // CSR transpose and top-k pruning. Like matmul, the serial baseline is
+    // the retained reference implementation (`*_reference`); the production
+    // kernel runs chunked with the threshold forced low.
     {
         let s = random_csr(8192, 16, 17);
-        let (serial, pooled) = time_both(5, || {
+        let serial = time_best(5, || {
+            black_box(s.transpose_reference());
+        });
+        pool::set_par_threshold(1);
+        let pooled = time_best(5, || {
             black_box(s.transpose());
         });
         rows.push(Row {
@@ -174,9 +210,7 @@ fn kernel_bench() {
             serial_ns: serial,
             pooled_ns: pooled,
         });
-        let (serial, pooled) = time_both(5, || {
-            black_box(s.prune_top_k_per_row(8));
-        });
+        let (serial, pooled) = time_prune(&s, 8);
         rows.push(Row {
             kernel: "prune_top_k",
             shape: format!("8192x8192(nnz={}) k=8", s.nnz()),
@@ -185,10 +219,33 @@ fn kernel_bench() {
         });
     }
 
+    // prune_top_k at its two skew extremes: tiny k on dense rows (selection
+    // dominates) and large k on sparse rows (rows pass through untouched).
+    {
+        let s = random_csr(2048, 192, 19);
+        let (serial, pooled) = time_prune(&s, 4);
+        rows.push(Row {
+            kernel: "prune_top_k",
+            shape: format!("2048x2048(nnz={}) k=4", s.nnz()),
+            serial_ns: serial,
+            pooled_ns: pooled,
+        });
+        let s = random_csr(16384, 8, 23);
+        let (serial, pooled) = time_prune(&s, 64);
+        rows.push(Row {
+            kernel: "prune_top_k",
+            shape: format!("16384x16384(nnz={}) k=64", s.nnz()),
+            serial_ns: serial,
+            pooled_ns: pooled,
+        });
+    }
+
     // Leave the runtime in its default state for anything run afterwards.
     pool::set_par_threshold(1);
 
-    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let simd_rows = simd_vs_scalar(&mut rng);
+    let simd_active = simd::avx2_active();
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
@@ -205,7 +262,22 @@ fn kernel_bench() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"simd_vs_scalar\": {{\n    \"active\": {simd_active},\n    \"kernels\": [\n"
+    ));
+    for (i, row) in simd_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"kernel\": \"{}\", \"shape\": \"{}\", \"scalar_ns\": {}, \"simd_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            row.kernel,
+            row.shape,
+            row.scalar_ns,
+            row.simd_ns,
+            row.speedup(),
+            if i + 1 < simd_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, &json).expect("failed to write BENCH_kernels.json");
@@ -221,6 +293,129 @@ fn kernel_bench() {
             row.speedup()
         );
     }
+    println!("  simd_vs_scalar (avx2 active: {simd_active})");
+    for row in &simd_rows {
+        println!(
+            "  {:<18} {:<28} scalar {:>12} ns  simd   {:>12} ns  {:.2}x",
+            row.kernel,
+            row.shape,
+            row.scalar_ns,
+            row.simd_ns,
+            row.speedup()
+        );
+    }
+
+    // Regression gate: no pooled kernel may lose to serial, and with SIMD
+    // active no SIMD kernel may lose to its scalar reference.
+    let mut regressions: Vec<String> = rows
+        .iter()
+        .filter(|r| r.speedup() < 1.0)
+        .map(|r| format!("{} [{}] {:.3}x", r.kernel, r.shape, r.speedup()))
+        .collect();
+    if simd_active {
+        regressions.extend(
+            simd_rows
+                .iter()
+                .filter(|r| r.speedup() < 1.0)
+                .map(|r| format!("simd {} [{}] {:.3}x", r.kernel, r.shape, r.speedup())),
+        );
+    }
+    if !regressions.is_empty() {
+        eprintln!("FAIL: kernel speedup regressed below 1.0x:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}
+
+struct SimdRow {
+    kernel: &'static str,
+    shape: String,
+    scalar_ns: u64,
+    simd_ns: u64,
+}
+
+impl SimdRow {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.simd_ns.max(1) as f64
+    }
+}
+
+/// Times the dispatched vector kernels against their scalar references.
+/// When dispatch fell back (no AVX2+FMA, or `ANECI_NO_SIMD`), both sides run
+/// the same scalar code and the speedups hover around 1.0 — the `active`
+/// flag in the report says which regime was measured.
+fn simd_vs_scalar(rng: &mut impl Rng) -> Vec<SimdRow> {
+    let mut rows = Vec::new();
+
+    // Plain dot on a long in-cache vector (the serve scorer's inner loop).
+    let len = 4096;
+    let a: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let scalar = time_best(200, || {
+        for _ in 0..16 {
+            black_box(vector::dot_scalar(black_box(&a), black_box(&b)));
+        }
+    });
+    let simd = time_best(200, || {
+        for _ in 0..16 {
+            black_box(vector::dot(black_box(&a), black_box(&b)));
+        }
+    });
+    rows.push(SimdRow {
+        kernel: "dot",
+        shape: format!("len={len}"),
+        scalar_ns: scalar,
+        simd_ns: simd,
+    });
+
+    // axpy over the same length (the accumulation step of the row products).
+    let mut y = vec![0.0f64; len];
+    let scalar = time_best(200, || {
+        for _ in 0..16 {
+            vector::axpy_scalar(black_box(&mut y), 0.5, black_box(&a));
+        }
+    });
+    let simd = time_best(200, || {
+        for _ in 0..16 {
+            vector::axpy(black_box(&mut y), 0.5, black_box(&a));
+        }
+    });
+    rows.push(SimdRow {
+        kernel: "axpy",
+        shape: format!("len={len}"),
+        scalar_ns: scalar,
+        simd_ns: simd,
+    });
+
+    // The exact-top-k cosine scan: one query scored against a row range
+    // through the batched scan kernel the store's `top_of_range` uses
+    // (norms precomputed, like `EmbeddingStore`). The range is sized to a
+    // per-chunk working set that stays cache-resident — larger scans go
+    // memory-bound and measure DRAM bandwidth instead of the kernel.
+    let (n, d) = (512, 256);
+    let emb = gaussian_matrix(n, d, 1.0, rng);
+    let norms: Vec<f64> = emb.rows_iter().map(vector::norm2).collect();
+    let q: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let qn = vector::norm2(&q);
+    let mut scores = vec![0.0f64; n];
+    let scalar = time_best(50, || {
+        vector::cosine_scores_scalar(&q, qn, emb.as_slice(), &norms, &mut scores);
+        black_box(&scores);
+    });
+    let simd = time_best(50, || {
+        vector::cosine_scores(&q, qn, emb.as_slice(), &norms, &mut scores);
+        black_box(&scores);
+    });
+    rows.push(SimdRow {
+        kernel: "cosine_scan",
+        shape: format!("{n}x{d}"),
+        scalar_ns: scalar,
+        simd_ns: simd,
+    });
+
+    rows
 }
 
 /// `p`-th percentile of an ascending-sorted slice (nearest-rank).

@@ -762,6 +762,13 @@ pub(crate) fn matmul_rows_into(
         matmul_rows_naive(a, b, lo, hi, out);
         return;
     }
+    // SIMD dispatch is resolved once per call: it depends only on the CPU
+    // and `ANECI_NO_SIMD`, so pooled and serial executions of the same
+    // ranges stay bit-identical.
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 = crate::simd::avx2_active();
+    #[cfg(not(target_arch = "x86_64"))]
+    let use_avx2 = false;
     let mut kk = 0;
     while kk < k_dim {
         let kc = KC.min(k_dim - kk);
@@ -770,7 +777,25 @@ pub(crate) fn matmul_rows_into(
             let mut c = 0;
             while c + NR <= n {
                 // SAFETY: rows `r..r+MR` lie in `lo..hi`, which this call
-                // owns exclusively.
+                // owns exclusively; the AVX2 path additionally has its
+                // feature set verified by the dispatch above.
+                #[cfg(target_arch = "x86_64")]
+                if use_avx2 {
+                    unsafe {
+                        crate::simd::tile_2x12_avx2(
+                            a.data.as_ptr().add(r * a.cols + kk),
+                            a.data.as_ptr().add((r + 1) * a.cols + kk),
+                            b.data.as_ptr().add(kk * n + c),
+                            n,
+                            kc,
+                            out.add(r * n + c),
+                            out.add((r + 1) * n + c),
+                        );
+                    }
+                    c += NR;
+                    continue;
+                }
+                let _ = use_avx2;
                 unsafe { tile_mr_nr(a, b, r, c, kk, kc, out) };
                 c += NR;
             }

@@ -18,6 +18,8 @@
 //!   `aneci-obs` global registry (`linalg.kernel.*`);
 //! * [`rng`] — explicit-seed randomness, Xavier/He initializers, alias-table
 //!   sampling;
+//! * [`simd`] — runtime-dispatched AVX2/FMA kernels behind the portable
+//!   scalar entry points (`ANECI_NO_SIMD` forces the fallbacks);
 //! * [`vector`] — flat similarity kernels (dot / cosine / L2) shared by the
 //!   serving layer's exact scorer and ANN index;
 //! * [`stats`] — small statistics shared across the workspace.
@@ -27,6 +29,7 @@ pub mod kernel_stats;
 pub mod par;
 pub mod pool;
 pub mod rng;
+pub mod simd;
 pub mod sparse;
 pub mod stats;
 pub mod vector;

@@ -16,7 +16,9 @@
 use crate::dense::{self, DenseMatrix};
 use crate::kernel_stats::{self, Kernel};
 use crate::pool::{self, SendPtr};
+use crate::simd;
 use crate::sparse::CsrMatrix;
+use crate::vector;
 
 /// Dense matrix product `a * b`: cache-blocked microkernel, pooled over
 /// output rows above the pool threshold.
@@ -34,6 +36,7 @@ pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
     let n = b.cols();
     let work = m * k * n;
     kernel_stats::record(Kernel::Matmul, 2 * work as u64, || {
+        simd::record_dispatch();
         let mut out = DenseMatrix::zeros(m, n);
         let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
         if pool::should_parallelize(work) {
@@ -60,6 +63,7 @@ pub fn spmm_dense(s: &CsrMatrix, d: &DenseMatrix) -> DenseMatrix {
     let n = d.cols();
     let work = s.nnz() * n;
     kernel_stats::record(Kernel::SpmmDense, 2 * work as u64, || {
+        simd::record_dispatch();
         let mut out = DenseMatrix::zeros(m, n);
         let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
         let fill_rows = |lo: usize, hi: usize| {
@@ -69,10 +73,7 @@ pub fn spmm_dense(s: &CsrMatrix, d: &DenseMatrix) -> DenseMatrix {
                 unsafe { std::slice::from_raw_parts_mut(ptr.get().add(lo * n), (hi - lo) * n) };
             for (local_r, out_row) in dst.chunks_exact_mut(n.max(1)).enumerate() {
                 for (c, v) in s.row_entries(lo + local_r) {
-                    let d_row = d.row(c);
-                    for (o, &dv) in out_row.iter_mut().zip(d_row) {
-                        *o += v * dv;
-                    }
+                    vector::axpy(out_row, v, d.row(c));
                 }
             }
         };
@@ -87,20 +88,29 @@ pub fn spmm_dense(s: &CsrMatrix, d: &DenseMatrix) -> DenseMatrix {
     })
 }
 
-/// `aᵀ * b`, pooled by splitting the shared row dimension and summing the
-/// per-chunk partial products in chunk order (deterministic across thread
-/// counts; rounding may differ from strict serial by ~1e-12 relative).
+/// `aᵀ * b`, computed as a fixed sequence of row-block partial products
+/// summed in block order.
+///
+/// The block decomposition depends only on the shape — never on the thread
+/// count or the parallel threshold — so the result is bit-identical whether
+/// the blocks execute pooled or serial. (An earlier version switched to a
+/// direct serial accumulation below the threshold, which rounded the long
+/// reduction differently and made seeded runs diverge across thread
+/// counts.) Rounding may differ from the strictly-serial
+/// [`DenseMatrix::matmul_tn`] by ~1e-12 relative.
 pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
     assert_eq!(a.rows(), b.rows(), "par::matmul_tn: row mismatch");
     let m = a.rows();
     let work = m * a.cols() * b.cols();
     kernel_stats::record(Kernel::MatmulTn, 2 * work as u64, || {
-        if !pool::should_parallelize(work) {
-            return a.matmul_tn(b);
+        simd::record_dispatch();
+        if m == 0 {
+            return DenseMatrix::zeros(a.cols(), b.cols());
         }
-        // Each chunk materializes a full `a.cols × b.cols` partial, so cap
-        // the chunk count at 32 regardless of thread count.
-        let grain = m.div_ceil(32).max(16);
+        // Each block materializes a full `a.cols × b.cols` partial, so keep
+        // the block count low: ≤8 blocks bounds both the extra memory and
+        // the final chunk-ordered reduction while still feeding the pool.
+        let grain = m.div_ceil(8).max(32);
         let partials = pool::parallel_map_chunks(m, grain, |lo, hi| {
             let mut acc = DenseMatrix::zeros(a.cols(), b.cols());
             for r in lo..hi {
@@ -110,17 +120,15 @@ pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
                     if av == 0.0 {
                         continue;
                     }
-                    let acc_row = acc.row_mut(i);
-                    for (o, &bv) in acc_row.iter_mut().zip(b_row) {
-                        *o += av * bv;
-                    }
+                    vector::axpy(acc.row_mut(i), av, b_row);
                 }
             }
             acc
         });
-        let mut out = DenseMatrix::zeros(a.cols(), b.cols());
-        for p in &partials {
-            out.add_assign(p);
+        let mut iter = partials.into_iter();
+        let mut out = iter.next().expect("m > 0 yields at least one block");
+        for p in iter {
+            out.add_assign(&p);
         }
         out
     })

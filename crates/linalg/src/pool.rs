@@ -409,6 +409,17 @@ pub fn row_grain(rows: usize, min_rows: usize) -> usize {
     rows.div_ceil(64).max(min_rows).max(1)
 }
 
+/// Cached hardware core count (`std::thread::available_parallelism`, 1 on
+/// error). A machine property, not a runtime knob: unlike [`num_threads`]
+/// it never changes during a process, so kernels whose *output* is
+/// chunking-invariant may scale their chunk count by it without breaking
+/// the cross-thread-count determinism guarantee.
+#[inline]
+pub fn hardware_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |c| c.get()))
+}
+
 /// Test/bench helper: forces a real multi-thread pool into existence (even
 /// on a single-core machine) and drops the threshold to 1 so parallel code
 /// paths are genuinely exercised. Not part of the public API surface.

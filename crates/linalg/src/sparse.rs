@@ -270,19 +270,21 @@ impl CsrMatrix {
         out
     }
 
-    /// Transposes the matrix (O(nnz) counting sort; pooled two-pass above
-    /// the pool threshold, with output identical to the serial path).
+    /// Transposes the matrix — an O(nnz) counting sort, chunked over the
+    /// pool above the threshold. Every entry lands at exactly the position
+    /// the straightforward serial counting sort ([`Self::transpose_reference`])
+    /// would put it, for *any* chunk decomposition, so the output is
+    /// bit-identical across thread counts and machines.
     pub fn transpose(&self) -> CsrMatrix {
         kernel_stats::record(Kernel::SparseTranspose, self.nnz() as u64, || {
-            if pool::should_parallelize(self.nnz()) {
-                self.transpose_parallel()
-            } else {
-                self.transpose_serial()
-            }
+            self.transpose_chunked()
         })
     }
 
-    fn transpose_serial(&self) -> CsrMatrix {
+    /// Retained straightforward transpose (checked indexing, `usize`
+    /// histograms): the correctness oracle for the parity tests and the
+    /// serial baseline `bench_report` times the production kernel against.
+    pub fn transpose_reference(&self) -> CsrMatrix {
         let mut counts = vec![0usize; self.cols + 1];
         for &c in &self.indices {
             counts[c as usize + 1] += 1;
@@ -311,24 +313,47 @@ impl CsrMatrix {
         }
     }
 
-    /// Two-pass pooled transpose: pass 1 builds a per-chunk column
+    /// Two-pass chunked transpose: pass 1 builds a per-chunk column
     /// histogram; the histograms are prefix-summed into per-chunk write
     /// offsets, so pass 2 scatters with no atomics and lands every entry at
     /// exactly the position the serial counting sort would (entries within
     /// an output row stay ordered by source row).
-    fn transpose_parallel(&self) -> CsrMatrix {
-        let grain = pool::row_grain(self.rows, 64);
+    ///
+    /// Chunking is deliberately coarse — at most one chunk per hardware
+    /// core, capped at 8: every extra chunk costs a `cols`-sized histogram
+    /// in pass 1 and another `cols`-sized cursor walk in the offset merge,
+    /// which is what made a finer-grained version of this kernel *lose* to
+    /// the serial counting sort. Counts and cursors are `u32` — half the
+    /// cache footprint of the reference's `usize` arrays — which together
+    /// with unchecked scatter indexing keeps this path ahead of the
+    /// reference even single-chunk on one core. Scaling chunks by
+    /// [`pool::hardware_parallelism`] (a machine constant) and by the
+    /// threshold is safe precisely because the output is chunk-invariant.
+    fn transpose_chunked(&self) -> CsrMatrix {
+        let nnz = self.nnz();
+        if nnz > u32::MAX as usize {
+            // u32 write cursors can't address the output; the reference
+            // counting sort handles the (unreachable in practice) huge case.
+            return self.transpose_reference();
+        }
+        let max_chunks = if pool::should_parallelize(nnz) {
+            pool::hardware_parallelism().min(8)
+        } else {
+            1
+        };
+        let grain = self.rows.div_ceil(max_chunks.max(1)).max(1024);
         let mut hists = pool::parallel_map_chunks(self.rows, grain, |lo, hi| {
-            let mut counts = vec![0usize; self.cols];
+            let mut counts = vec![0u32; self.cols];
             for &c in &self.indices[self.indptr[lo]..self.indptr[hi]] {
-                counts[c as usize] += 1;
+                // SAFETY: the CSR invariant bounds column indices by `cols`.
+                unsafe { *counts.get_unchecked_mut(c as usize) += 1 };
             }
             counts
         });
         let mut indptr = vec![0usize; self.cols + 1];
         for hist in &hists {
             for (c, &n) in hist.iter().enumerate() {
-                indptr[c + 1] += n;
+                indptr[c + 1] += n as usize;
             }
         }
         for c in 0..self.cols {
@@ -336,7 +361,7 @@ impl CsrMatrix {
         }
         // Per-column running offset over chunks: hists[k][c] becomes the
         // position where chunk k writes its first entry for column c.
-        let mut running = indptr[..self.cols].to_vec();
+        let mut running: Vec<u32> = indptr[..self.cols].iter().map(|&x| x as u32).collect();
         for hist in &mut hists {
             for (c, slot) in hist.iter_mut().enumerate() {
                 let n = *slot;
@@ -344,25 +369,31 @@ impl CsrMatrix {
                 running[c] += n;
             }
         }
-        let nnz = self.nnz();
         let mut indices = vec![0u32; nnz];
         let mut values = vec![0.0f64; nnz];
         {
             let iptr = SendPtr(indices.as_mut_ptr());
             let vptr = SendPtr(values.as_mut_ptr());
-            let hists = &hists;
+            let hptr = SendPtr(hists.as_mut_ptr());
             pool::parallel_for_chunks(self.rows, grain, |chunk, lo, hi| {
-                let mut next = hists[chunk].clone();
+                // SAFETY: each chunk index is claimed exactly once, so this
+                // is the only live borrow of `hists[chunk]`, which becomes
+                // the chunk's private write-cursor array.
+                let next = unsafe { &mut *hptr.get().add(chunk) };
                 for r in lo..hi {
-                    for (c, v) in self.row_entries(r) {
-                        let pos = next[c];
-                        // SAFETY: offsets are disjoint across chunks by
+                    let rr = r as u32;
+                    for j in self.indptr[r]..self.indptr[r + 1] {
+                        // SAFETY: `j` is in bounds by the CSR invariant;
+                        // cursor positions are disjoint across chunks by
                         // construction of the per-chunk histograms.
                         unsafe {
-                            *iptr.get().add(pos) = r as u32;
-                            *vptr.get().add(pos) = v;
+                            let c = *self.indices.get_unchecked(j) as usize;
+                            let cur = next.get_unchecked_mut(c);
+                            let pos = *cur as usize;
+                            *cur += 1;
+                            *iptr.get().add(pos) = rr;
+                            *vptr.get().add(pos) = *self.values.get_unchecked(j);
                         }
-                        next[c] += 1;
                     }
                 }
             });
@@ -614,44 +645,150 @@ impl CsrMatrix {
     }
 
     /// [`CsrMatrix::prune_top_k_per_row`] writing into `out`, reusing its
-    /// buffers.
+    /// buffers. Pruning is per-row, so the output is identical for any
+    /// chunk decomposition; chunks are capped at one per hardware core
+    /// (≤16) because the per-chunk output vectors and the assemble pass are
+    /// pure overhead on top of the row work, which is what made a
+    /// finer-grained version of this kernel lose to serial.
     pub fn prune_top_k_into(&self, k: usize, out: &mut CsrMatrix) {
-        // Sorting each row costs ~nnz log nnz; nnz is a fine work proxy.
+        // Selecting each row costs ~nnz; nnz is a fine work proxy.
         kernel_stats::record(Kernel::PruneTopK, self.nnz() as u64, || {
-            let chunks = if pool::should_parallelize(self.nnz()) {
-                let grain = pool::row_grain(self.rows, 16);
-                pool::parallel_map_chunks(self.rows, grain, |lo, hi| self.prune_rows(k, lo, hi))
+            let max_chunks = if pool::should_parallelize(self.nnz()) {
+                pool::hardware_parallelism().min(16)
             } else {
-                vec![self.prune_rows(k, 0, self.rows)]
+                1
             };
+            let grain = self.rows.div_ceil(max_chunks.max(1)).max(64);
+            if self.rows <= grain {
+                // Single chunk: write rows straight into `out` instead of
+                // paying the chunk-buffer + assemble copy (which on short
+                // rows costs as much as the selection saves).
+                self.prune_rows_into(k, out);
+                return;
+            }
+            let chunks =
+                pool::parallel_map_chunks(self.rows, grain, |lo, hi| self.prune_rows(k, lo, hi));
             assemble_rows_into(self.rows, self.cols, &chunks, out);
         });
     }
 
-    /// Top-k pruning of rows `lo..hi` with chunk-local scratch.
-    fn prune_rows(&self, k: usize, lo: usize, hi: usize) -> RowChunk {
-        let mut lens = Vec::with_capacity(hi - lo);
-        let mut indices: Vec<u32> = Vec::new();
-        let mut values: Vec<f64> = Vec::new();
-        let mut row_buf: Vec<(u32, f64)> = Vec::new();
-        for r in lo..hi {
+    /// Serial single-chunk pruning written directly into `out`'s buffers —
+    /// same per-row selection as [`CsrMatrix::prune_rows`], no intermediate
+    /// chunk vectors.
+    fn prune_rows_into(&self, k: usize, out: &mut CsrMatrix) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.indptr.clear();
+        out.indptr.reserve(self.rows + 1);
+        out.indptr.push(0);
+        out.indices.clear();
+        out.values.clear();
+        let est = self.nnz().min(self.rows.saturating_mul(k));
+        out.indices.reserve(est);
+        out.values.reserve(est);
+        let mut row_buf: Vec<(u128, f64)> = Vec::new();
+        for r in 0..self.rows {
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            let len = end - start;
+            if k == 0 {
+                out.indptr.push(out.indices.len());
+                continue;
+            }
+            if len <= k {
+                out.indices.extend_from_slice(&self.indices[start..end]);
+                out.values.extend_from_slice(&self.values[start..end]);
+                out.indptr.push(out.indices.len());
+                continue;
+            }
             row_buf.clear();
-            row_buf.extend(self.row_entries(r).map(|(c, v)| (c as u32, v)));
-            if row_buf.len() > k {
-                row_buf.sort_unstable_by(|a, b| {
-                    b.1.abs()
-                        .partial_cmp(&a.1.abs())
-                        .unwrap()
-                        .then(a.0.cmp(&b.0))
-                });
-                row_buf.truncate(k);
-                row_buf.sort_unstable_by_key(|&(c, _)| c);
+            row_buf.extend(
+                self.row_entries(r)
+                    .map(|(c, v)| (prune_key(c as u32, v), v)),
+            );
+            select_top_k(&mut row_buf, k);
+            for &(key, v) in row_buf.iter() {
+                out.indices.push(key as u32);
+                out.values.push(v);
+            }
+            out.indptr.push(out.indices.len());
+        }
+    }
+
+    /// Retained straightforward top-k pruning (full per-row sort, per-entry
+    /// copies): the correctness oracle for the parity tests and the serial
+    /// baseline `bench_report` times the production kernel against.
+    pub fn prune_top_k_reference(&self, k: usize) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        let mut row_buf: Vec<(u32, f64)> = Vec::new();
+        for r in 0..self.rows {
+            row_buf.clear();
+            if k > 0 {
+                row_buf.extend(self.row_entries(r).map(|(c, v)| (c as u32, v)));
+                if row_buf.len() > k {
+                    row_buf.sort_unstable_by(|a, b| {
+                        b.1.abs()
+                            .partial_cmp(&a.1.abs())
+                            .unwrap()
+                            .then(a.0.cmp(&b.0))
+                    });
+                    row_buf.truncate(k);
+                    row_buf.sort_unstable_by_key(|&(c, _)| c);
+                }
             }
             for &(c, v) in row_buf.iter() {
                 indices.push(c);
                 values.push(v);
             }
-            lens.push(row_buf.len());
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Top-k pruning of rows `lo..hi` with chunk-local scratch. Rows that
+    /// already fit (`len <= k`) are copied through as whole slices; longer
+    /// rows are cut with a selection (`select_nth_unstable_by`) under the
+    /// same strict total order the reference's full sort uses (|value|
+    /// descending, column ascending), so the surviving set is identical
+    /// while the per-row cost drops from O(len·log len) to O(len + k·log k).
+    fn prune_rows(&self, k: usize, lo: usize, hi: usize) -> RowChunk {
+        let mut lens = Vec::with_capacity(hi - lo);
+        let est = (self.indptr[hi] - self.indptr[lo]).min((hi - lo).saturating_mul(k));
+        let mut indices: Vec<u32> = Vec::with_capacity(est);
+        let mut values: Vec<f64> = Vec::with_capacity(est);
+        let mut row_buf: Vec<(u128, f64)> = Vec::new();
+        for r in lo..hi {
+            let (start, end) = (self.indptr[r], self.indptr[r + 1]);
+            let len = end - start;
+            if k == 0 {
+                lens.push(0);
+                continue;
+            }
+            if len <= k {
+                indices.extend_from_slice(&self.indices[start..end]);
+                values.extend_from_slice(&self.values[start..end]);
+                lens.push(len);
+                continue;
+            }
+            row_buf.clear();
+            row_buf.extend(
+                self.row_entries(r)
+                    .map(|(c, v)| (prune_key(c as u32, v), v)),
+            );
+            select_top_k(&mut row_buf, k);
+            for &(key, v) in row_buf.iter() {
+                indices.push(key as u32);
+                values.push(v);
+            }
+            lens.push(k);
         }
         (lens, indices, values)
     }
@@ -687,6 +824,31 @@ impl CsrMatrix {
             self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
         }
     }
+}
+
+/// Packed top-k sort key: `!|v|.to_bits()` in the high 64 bits, the column
+/// in the low 32. `to_bits` of a non-negative, non-NaN float is
+/// order-isomorphic to its value, so ascending key order is exactly the
+/// reference comparator's `|v| desc, col asc` — but computed *once* per
+/// entry instead of on every comparison, and compared as one integer.
+#[inline]
+fn prune_key(c: u32, v: f64) -> u128 {
+    ((!v.abs().to_bits()) as u128) << 32 | c as u128
+}
+
+/// Cuts `row` (assumed longer than `k`, keyed by [`prune_key`]) down to its
+/// `k` largest-magnitude entries, sorted by column.
+fn select_top_k(row: &mut Vec<(u128, f64)>, k: usize) {
+    if row.len() <= 32 {
+        // Short rows: quickselect's partition machinery costs more than the
+        // insertion sort `sort_unstable` uses at this size.
+        row.sort_unstable_by_key(|&(key, _)| key);
+    } else {
+        row.select_nth_unstable_by_key(k - 1, |&(key, _)| key);
+    }
+    row.truncate(k);
+    // The low 32 bits are the column, so this restores CSR column order.
+    row.sort_unstable_by_key(|&(key, _)| key as u32);
 }
 
 /// Stitches per-row-range kernel outputs (in row order) into `out`, reusing
@@ -919,8 +1081,9 @@ mod tests {
         let s = CsrMatrix::from_triplets(200, 200, &trips);
         // With force_pool the threshold is 1, so these all take the pooled
         // path; compare against the serial implementations.
-        assert_eq!(s.transpose(), s.transpose_serial());
+        assert_eq!(s.transpose(), s.transpose_reference());
         let spmm_par = s.spmm(&s);
+        assert_eq!(s.prune_top_k_per_row(3), s.prune_top_k_reference(3));
         let spmm_ser = {
             let chunk = s.spmm_rows(&s, 0, s.rows());
             let mut out = CsrMatrix::zeros(0, 0);

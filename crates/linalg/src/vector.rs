@@ -9,13 +9,35 @@
 //! All kernels are serial: callers parallelize at the *batch* level (one
 //! query per pool chunk), so per-pair scoring must stay dependency-free and
 //! cheap to inline.
+//!
+//! The reduction kernels ([`dot`], [`axpy`], [`squared_euclidean`] and
+//! everything built on them) dispatch to the AVX2/FMA versions in
+//! [`crate::simd`] when the CPU supports them; the `*_scalar` variants are
+//! the portable references, used directly when dispatch falls back (no
+//! AVX2+FMA, or `ANECI_NO_SIMD` set) and kept public so the parity suite
+//! can compare the two. SIMD results agree with scalar to within a few ULP
+//! (fused multiply-add, different association) — see the [`crate::simd`]
+//! module docs for the exact guarantees.
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices (SIMD-dispatched).
 ///
 /// # Panics
 /// Panics if the lengths differ.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_active() {
+        // SAFETY: dispatch verified avx2+fma; lengths checked above.
+        return unsafe { crate::simd::dot_avx2(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Portable scalar dot product — the reference the SIMD path is tested
+/// against, and the kernel used when dispatch falls back.
+#[inline]
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
     // Four accumulators: breaks the add dependency chain so the compiler
     // can keep the loop pipelined without -ffast-math style reassociation.
@@ -32,6 +54,33 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         tail += a[i] * b[i];
     }
     acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// `y[i] += alpha * x[i]` over equal-length slices (SIMD-dispatched). This
+/// is the accumulation step of the row-oriented products (`spmm_dense`,
+/// `matmul_tn`), so it sees long contiguous rows.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_active() {
+        // SAFETY: dispatch verified avx2+fma; lengths checked above.
+        unsafe { crate::simd::axpy_avx2(y, alpha, x) };
+        return;
+    }
+    axpy_scalar(y, alpha, x);
+}
+
+/// Portable scalar axpy — reference for the SIMD path.
+#[inline]
+pub fn axpy_scalar(y: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy: length mismatch");
+    for (o, &v) in y.iter_mut().zip(x) {
+        *o += alpha * v;
+    }
 }
 
 /// Euclidean (L2) norm of a slice.
@@ -62,9 +111,109 @@ pub fn cosine_with_norms(dot_ab: f64, norm_a: f64, norm_b: f64) -> f64 {
     }
 }
 
-/// Squared Euclidean distance `‖a − b‖²`.
+/// Batched cosine scan (SIMD-dispatched): `out[i]` becomes the cosine
+/// similarity of `q` against row `i` of `rows` (a flat row-major block of
+/// `q.len()`-length rows, e.g. a [`crate::DenseMatrix`] row range), given
+/// the query norm `qn` and the per-row norms. Dispatch happens once per
+/// scan rather than once per row, which is what makes the SIMD path pay
+/// off on short rows (`#[target_feature]` kernels can't inline into
+/// portable callers). Zero norms score 0, as in [`cosine_with_norms`].
+///
+/// # Panics
+/// Panics if `rows.len() != norms.len() * q.len()` or
+/// `out.len() != norms.len()`.
+pub fn cosine_scores(q: &[f64], qn: f64, rows: &[f64], norms: &[f64], out: &mut [f64]) {
+    assert_eq!(
+        rows.len(),
+        norms.len() * q.len(),
+        "cosine_scores: rows/norms shape mismatch"
+    );
+    assert_eq!(out.len(), norms.len(), "cosine_scores: out length mismatch");
+    if q.is_empty() {
+        out.fill(0.0);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_active() {
+        // SAFETY: dispatch verified avx2+fma; shapes checked above.
+        unsafe { crate::simd::cosine_scores_avx2(q, qn, rows, norms, out) };
+        return;
+    }
+    cosine_scores_scalar(q, qn, rows, norms, out);
+}
+
+/// Portable scalar batched cosine scan — reference for the SIMD path.
+pub fn cosine_scores_scalar(q: &[f64], qn: f64, rows: &[f64], norms: &[f64], out: &mut [f64]) {
+    assert_eq!(
+        rows.len(),
+        norms.len() * q.len(),
+        "cosine_scores: rows/norms shape mismatch"
+    );
+    assert_eq!(out.len(), norms.len(), "cosine_scores: out length mismatch");
+    if q.is_empty() {
+        out.fill(0.0);
+        return;
+    }
+    for ((row, &nr), o) in rows.chunks_exact(q.len()).zip(norms).zip(out.iter_mut()) {
+        *o = cosine_with_norms(dot_scalar(q, row), qn, nr);
+    }
+}
+
+/// Batched dot scan (SIMD-dispatched): `out[i] = q · rows[i]` over a flat
+/// row-major block; one dispatch per scan, like [`cosine_scores`].
+///
+/// # Panics
+/// Panics if `rows.len() != out.len() * q.len()`.
+pub fn dot_scores(q: &[f64], rows: &[f64], out: &mut [f64]) {
+    assert_eq!(
+        rows.len(),
+        out.len() * q.len(),
+        "dot_scores: rows/out shape mismatch"
+    );
+    if q.is_empty() {
+        out.fill(0.0);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_active() {
+        // SAFETY: dispatch verified avx2+fma; shapes checked above.
+        unsafe { crate::simd::dot_scores_avx2(q, rows, out) };
+        return;
+    }
+    dot_scores_scalar(q, rows, out);
+}
+
+/// Portable scalar batched dot scan — reference for the SIMD path.
+pub fn dot_scores_scalar(q: &[f64], rows: &[f64], out: &mut [f64]) {
+    assert_eq!(
+        rows.len(),
+        out.len() * q.len(),
+        "dot_scores: rows/out shape mismatch"
+    );
+    if q.is_empty() {
+        out.fill(0.0);
+        return;
+    }
+    for (row, o) in rows.chunks_exact(q.len()).zip(out.iter_mut()) {
+        *o = dot_scalar(q, row);
+    }
+}
+
+/// Squared Euclidean distance `‖a − b‖²` (SIMD-dispatched).
 #[inline]
 pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_euclidean: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_active() {
+        // SAFETY: dispatch verified avx2+fma; lengths checked above.
+        return unsafe { crate::simd::squared_euclidean_avx2(a, b) };
+    }
+    squared_euclidean_scalar(a, b)
+}
+
+/// Portable scalar squared Euclidean distance — reference for the SIMD path.
+#[inline]
+pub fn squared_euclidean_scalar(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "squared_euclidean: length mismatch");
     let mut s = 0.0;
     for (&x, &y) in a.iter().zip(b) {
@@ -96,6 +245,21 @@ mod tests {
             let b: Vec<f64> = (0..len).map(|i| (i as f64) - 2.0).collect();
             let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
             assert!((dot(&a, &b) - naive).abs() < 1e-12, "len {len}");
+            assert!((dot_scalar(&a, &b) - naive).abs() < 1e-12, "len {len}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_reference() {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 12, 13, 100] {
+            let x: Vec<f64> = (0..len).map(|i| (i as f64) * 0.25 - 3.0).collect();
+            let mut y: Vec<f64> = (0..len).map(|i| (i as f64) * -0.5 + 1.0).collect();
+            let mut y_ref = y.clone();
+            axpy(&mut y, -1.75, &x);
+            axpy_scalar(&mut y_ref, -1.75, &x);
+            for (i, (&a, &b)) in y.iter().zip(&y_ref).enumerate() {
+                assert!((a - b).abs() < 1e-12, "len {len} lane {i}");
+            }
         }
     }
 
@@ -131,5 +295,6 @@ mod tests {
     fn squared_euclidean_basics() {
         assert!((squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 25.0).abs() < 1e-12);
         assert_eq!(squared_euclidean(&[1.0], &[1.0]), 0.0);
+        assert_eq!(squared_euclidean_scalar(&[1.0], &[1.0]), 0.0);
     }
 }

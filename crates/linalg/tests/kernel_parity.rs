@@ -5,9 +5,15 @@
 //! `force_pool` drops the pool threshold to 1 and guarantees ≥4 threads, so
 //! every kernel here genuinely takes the pooled path even on small inputs
 //! and single-core CI runners.
+//!
+//! The `simd_*` tests at the bottom hold the dispatched vector kernels to
+//! their `*_scalar` references: within the documented ULP envelope when the
+//! AVX2 path is active (FMA + different association), and bit-for-bit when
+//! dispatch falls back — including a subprocess run with `ANECI_NO_SIMD`
+//! forcing the fallback on AVX2-capable machines.
 
-use aneci_linalg::pool;
 use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
+use aneci_linalg::{pool, simd, vector};
 use aneci_linalg::{CsrMatrix, DenseMatrix};
 
 const TOL: f64 = 1e-10;
@@ -250,4 +256,201 @@ fn nested_parallel_for_does_not_deadlock() {
     // element pairs with every innermost element: 16 * 32 * 8 with the
     // chunk-product decomposition summing to the same total.
     assert_eq!(total.load(Ordering::Relaxed), 16 * 32 * 8);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD vs scalar parity
+// ---------------------------------------------------------------------------
+
+/// Deterministic vector with modest values and exact zeros sprinkled in.
+fn vec_pattern(len: usize, seed: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let x = (i * 31 + seed * 7) % 23;
+            if x == 0 {
+                0.0
+            } else {
+                x as f64 * 0.125 - 1.25
+            }
+        })
+        .collect()
+}
+
+/// Forward-error envelope for a `len`-term reassociated FMA reduction:
+/// `len · ~4096 ULP` relative to the scalar result. Loose enough for any
+/// legal association, tight enough that a wrong element (not just a
+/// reordered sum) fails by many orders of magnitude.
+fn ulp_tol(len: usize, reference: f64) -> f64 {
+    (len.max(1) as f64) * 1e-12 * reference.abs().max(1.0)
+}
+
+/// Lengths hitting every dispatch regime: empty, scalar tail only,
+/// `len % 4 != 0` remainders, exact lane multiples, and past the 8- and
+/// 16-wide unroll boundaries.
+const SIMD_LENS: &[usize] = &[0, 1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 31, 32, 33, 100, 257];
+
+/// Asserts the dispatched reduction kernels equal their scalar references
+/// bitwise — the contract whenever dispatch has fallen back.
+fn assert_reductions_bit_exact() {
+    for &len in SIMD_LENS {
+        let a = vec_pattern(len, 1);
+        let b = vec_pattern(len, 2);
+        assert_eq!(
+            vector::dot(&a, &b).to_bits(),
+            vector::dot_scalar(&a, &b).to_bits(),
+            "dot len {len}"
+        );
+        assert_eq!(
+            vector::squared_euclidean(&a, &b).to_bits(),
+            vector::squared_euclidean_scalar(&a, &b).to_bits(),
+            "squared_euclidean len {len}"
+        );
+        let mut y = vec_pattern(len, 3);
+        let mut y_ref = y.clone();
+        vector::axpy(&mut y, -0.75, &a);
+        vector::axpy_scalar(&mut y_ref, -0.75, &a);
+        assert_eq!(y, y_ref, "axpy len {len}");
+    }
+}
+
+#[test]
+fn simd_reductions_match_scalar_within_documented_ulp() {
+    for &len in SIMD_LENS {
+        let a = vec_pattern(len, 1);
+        let b = vec_pattern(len, 2);
+
+        let (d, d_ref) = (vector::dot(&a, &b), vector::dot_scalar(&a, &b));
+        assert!((d - d_ref).abs() <= ulp_tol(len, d_ref), "dot len {len}");
+
+        let (e, e_ref) = (
+            vector::squared_euclidean(&a, &b),
+            vector::squared_euclidean_scalar(&a, &b),
+        );
+        assert!(
+            (e - e_ref).abs() <= ulp_tol(len, e_ref),
+            "squared_euclidean len {len}"
+        );
+
+        // axpy is elementwise: one FMA per lane, so the envelope is 1 ULP
+        // per element, not len-scaled.
+        let mut y = vec_pattern(len, 3);
+        let mut y_ref = y.clone();
+        vector::axpy(&mut y, -0.75, &a);
+        vector::axpy_scalar(&mut y_ref, -0.75, &a);
+        for (i, (&s, &r)) in y.iter().zip(&y_ref).enumerate() {
+            assert!((s - r).abs() <= ulp_tol(1, r), "axpy len {len} lane {i}");
+        }
+    }
+    if !simd::avx2_active() {
+        // Fallback dispatch must not merely be close — it must be the
+        // scalar kernel.
+        assert_reductions_bit_exact();
+    }
+}
+
+#[test]
+fn simd_batched_scans_match_scalar() {
+    // (rows, dim) covering empty scans, empty queries, d % 4 != 0, and
+    // past-unroll dims.
+    for &(n, d) in &[
+        (0usize, 8usize),
+        (1, 0),
+        (3, 1),
+        (5, 3),
+        (4, 5),
+        (7, 13),
+        (2, 96),
+        (3, 257),
+    ] {
+        let q = vec_pattern(d, 4);
+        let qn = vector::norm2(&q);
+        let mut rows = vec_pattern(n * d, 5);
+        if n > 0 {
+            // Force one all-zero row so the zero-norm branch is exercised.
+            rows[..d].fill(0.0);
+        }
+        let norms: Vec<f64> = (0..n)
+            .map(|i| {
+                let row = &rows[i * d..(i + 1) * d];
+                vector::dot_scalar(row, row).sqrt()
+            })
+            .collect();
+
+        let mut cos = vec![f64::NAN; n];
+        let mut cos_ref = vec![f64::NAN; n];
+        vector::cosine_scores(&q, qn, &rows, &norms, &mut cos);
+        vector::cosine_scores_scalar(&q, qn, &rows, &norms, &mut cos_ref);
+        for i in 0..n {
+            assert!(
+                (cos[i] - cos_ref[i]).abs() <= ulp_tol(d, cos_ref[i]),
+                "cosine_scores ({n}x{d}) row {i}: {} vs {}",
+                cos[i],
+                cos_ref[i]
+            );
+        }
+        if n > 0 && d > 0 {
+            assert_eq!(cos[0], 0.0, "zero-norm row must score exactly 0");
+        }
+
+        let mut dots = vec![f64::NAN; n];
+        let mut dots_ref = vec![f64::NAN; n];
+        vector::dot_scores(&q, &rows, &mut dots);
+        vector::dot_scores_scalar(&q, &rows, &mut dots_ref);
+        for i in 0..n {
+            assert!(
+                (dots[i] - dots_ref[i]).abs() <= ulp_tol(d, dots_ref[i]),
+                "dot_scores ({n}x{d}) row {i}"
+            );
+        }
+        if d == 0 {
+            // Empty query: both scans define the score as exactly 0.
+            assert!(cos.iter().chain(&dots).all(|&v| v == 0.0));
+        }
+        if !simd::avx2_active() {
+            assert_eq!(cos, cos_ref, "fallback cosine must be bit-exact");
+            assert_eq!(dots, dots_ref, "fallback dot scan must be bit-exact");
+        }
+    }
+}
+
+#[test]
+fn forced_fallback_is_bit_exact() {
+    if std::env::var_os("ANECI_NO_SIMD").is_some() {
+        // Child process (or an environment already forcing the fallback):
+        // dispatch must have resolved to scalar, and every dispatched
+        // kernel must be bitwise-identical to its reference.
+        assert!(
+            !simd::avx2_active(),
+            "ANECI_NO_SIMD must force the scalar fallback"
+        );
+        assert_reductions_bit_exact();
+        let q = vec_pattern(13, 4);
+        let rows = vec_pattern(5 * 13, 5);
+        let norms: Vec<f64> = rows
+            .chunks_exact(13)
+            .map(|r| vector::dot_scalar(r, r).sqrt())
+            .collect();
+        let (mut a, mut b) = (vec![0.0; 5], vec![0.0; 5]);
+        vector::cosine_scores(&q, vector::norm2(&q), &rows, &norms, &mut a);
+        vector::cosine_scores_scalar(&q, vector::norm2(&q), &rows, &norms, &mut b);
+        assert_eq!(a, b);
+        vector::dot_scores(&q, &rows, &mut a);
+        vector::dot_scores_scalar(&q, &rows, &mut b);
+        assert_eq!(a, b);
+        return;
+    }
+    // Parent: rerun just this test in a child with the fallback forced.
+    // Dispatch latches on first use, so the flag can't be flipped in-process.
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args(["--exact", "forced_fallback_is_bit_exact"])
+        .env("ANECI_NO_SIMD", "1")
+        .output()
+        .expect("spawn forced-fallback child");
+    assert!(
+        out.status.success(),
+        "forced-fallback child failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

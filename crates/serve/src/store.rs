@@ -104,8 +104,9 @@ impl EmbeddingStore {
         self.embedding.row(node)
     }
 
-    /// Similarity between a query vector and a stored row.
-    #[inline]
+    /// Similarity between a query vector and a stored row — the per-row
+    /// oracle the batched-scan production path is tested against.
+    #[cfg(test)]
     fn score_row(&self, query: &[f64], query_norm: f64, row: usize, metric: Metric) -> f64 {
         let d = vector::dot(query, self.embedding.row(row));
         match metric {
@@ -135,6 +136,9 @@ impl EmbeddingStore {
             return Vec::new();
         }
         let keep = k.min(n);
+        // One telemetry sample per scan (the row dots inside dispatch to
+        // SIMD when available — see `aneci_linalg::simd`).
+        aneci_linalg::simd::record_dispatch();
         let query_norm = vector::norm2(query);
 
         // One extra candidate per chunk covers the excluded id.
@@ -159,7 +163,10 @@ impl EmbeddingStore {
         merged
     }
 
-    /// Top candidates within one row range (the per-chunk kernel).
+    /// Top candidates within one row range (the per-chunk kernel). The
+    /// whole range is scored through the batched scan kernels
+    /// ([`vector::cosine_scores`] / [`vector::dot_scores`]) so SIMD
+    /// dispatch is paid once per range, not once per row.
     fn top_of_range(
         &self,
         query: &[f64],
@@ -169,8 +176,19 @@ impl EmbeddingStore {
         hi: usize,
         keep: usize,
     ) -> Vec<Scored> {
-        let mut scored: Vec<Scored> = (lo..hi)
-            .map(|r| (r, self.score_row(query, query_norm, r, metric)))
+        let d = self.dim();
+        let rows = &self.embedding.as_slice()[lo * d..hi * d];
+        let mut scores = vec![0.0f64; hi - lo];
+        match metric {
+            Metric::Cosine => {
+                vector::cosine_scores(query, query_norm, rows, &self.norms[lo..hi], &mut scores)
+            }
+            Metric::Dot => vector::dot_scores(query, rows, &mut scores),
+        }
+        let mut scored: Vec<Scored> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (lo + i, s))
             .collect();
         scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(keep.min(scored.len()));
