@@ -9,7 +9,12 @@
 //!   scalar reference).
 //! * `--serve` times the serving subsystem — exact vs HNSW top-k on a
 //!   Cora-scale embedding, plus end-to-end JSONL engine throughput — and
-//!   writes `BENCH_serve.json` (including the measured ANN recall@10).
+//!   writes `BENCH_serve.json` (including the measured ANN recall@10, the
+//!   LRU cache hit rate, and the mean HNSW hop count per search).
+//! * `--http` spawns the in-process HTTP/1.1 server on an ephemeral port,
+//!   drives it with concurrent keep-alive client threads, and writes
+//!   `BENCH_http.json` (qps + p50/p95/p99 over the wire, batch throughput,
+//!   and the server's own request counters).
 //! * `--obs` runs the quickstart training + a serve workload with telemetry
 //!   on and off, measures the telemetry overhead, and dumps the whole
 //!   `aneci-obs` registry (training spans, kernel counters, serve latency
@@ -20,7 +25,7 @@
 //!   writes `BENCH_train.json`.
 //!
 //! Run with `cargo run --release -p aneci-bench --bin bench_report
-//! [-- --kernels | -- --serve | -- --obs | -- --train]`. `ANECI_NUM_THREADS`
+//! [-- --kernels | -- --serve | -- --http | -- --obs | -- --train]`. `ANECI_NUM_THREADS`
 //! caps the pooled measurements as usual; `ANECI_NO_SIMD=1` forces the
 //! scalar fallback (the `simd_vs_scalar` section then reports
 //! `active: false` and is excluded from the gate).
@@ -94,6 +99,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--serve") {
         serve_bench();
+    } else if args.iter().any(|a| a == "--http") {
+        http_bench();
     } else if args.iter().any(|a| a == "--obs") {
         obs_bench();
     } else if args.iter().any(|a| a == "--train") {
@@ -450,10 +457,28 @@ fn lat_json(lat: &[f64], qps: f64) -> serde_json::Value {
     })
 }
 
-/// Serving benchmark: exact vs ANN top-k on a Cora-scale community-structured
-/// embedding, recall@10, and end-to-end JSONL engine throughput.
-fn serve_bench() {
+/// Cora-scale community-structured embedding: the SBM generator's community
+/// labels drive a clustered layout (centroid + noise) shaped like a trained
+/// model's — the regime the serving benchmarks and the recall@10 acceptance
+/// bar are about.
+fn clustered_embedding() -> DenseMatrix {
     use aneci_graph::Benchmark;
+    let graph = Benchmark::Cora.generate(1.0, 7);
+    let labels = graph.labels.clone().expect("benchmark graphs are labelled");
+    let n = graph.num_nodes();
+    let dim = 128;
+    let mut rng = seeded_rng(21);
+    let centroids = gaussian_matrix(labels.iter().max().unwrap() + 1, dim, 1.0, &mut rng);
+    let noise = gaussian_matrix(n, dim, 1.0, &mut rng);
+    DenseMatrix::from_fn(n, dim, |r, c| {
+        3.0 * centroids.get(labels[r], c) + 0.8 * noise.get(r, c)
+    })
+}
+
+/// Serving benchmark: exact vs ANN top-k on a Cora-scale community-structured
+/// embedding, recall@10, HNSW hops per search, LRU cache hit rate, and
+/// end-to-end JSONL engine throughput.
+fn serve_bench() {
     use aneci_serve::engine::{EngineConfig, QueryEngine};
     use aneci_serve::hnsw::{recall_at_k, HnswConfig, HnswIndex};
     use aneci_serve::store::{EmbeddingStore, Metric};
@@ -461,21 +486,10 @@ fn serve_bench() {
     pool::force_pool();
     let threads = pool::num_threads();
 
-    // Cora-scale corpus: the SBM generator's community labels drive a
-    // clustered embedding (centroid + noise) shaped like a trained model's —
-    // the regime the recall@10 acceptance bar is about.
-    let graph = Benchmark::Cora.generate(1.0, 7);
-    let labels = graph.labels.clone().expect("benchmark graphs are labelled");
-    let n = graph.num_nodes();
-    let dim = 128;
+    let embedding = clustered_embedding();
+    let (n, dim) = (embedding.rows(), embedding.cols());
     let k = 10;
     let ef = 128;
-    let mut rng = seeded_rng(21);
-    let centroids = gaussian_matrix(labels.iter().max().unwrap() + 1, dim, 1.0, &mut rng);
-    let noise = gaussian_matrix(n, dim, 1.0, &mut rng);
-    let embedding = DenseMatrix::from_fn(n, dim, |r, c| {
-        3.0 * centroids.get(labels[r], c) + 0.8 * noise.get(r, c)
-    });
     let store = EmbeddingStore::new(embedding.clone(), None);
     let queries: Vec<usize> = (0..400).map(|i| (i * 97) % n).collect();
 
@@ -490,16 +504,26 @@ fn serve_bench() {
         black_box(store.top_k_node(q, k, Metric::Cosine));
     });
 
-    // ANN path: build once, search with a generous beam.
+    // ANN path: build once, search with a generous beam. The graph walk
+    // length comes from the `serve.hnsw.{hops,searches}` telemetry deltas
+    // around this loop (construction-time hops are never recorded).
     let t = Instant::now();
     let index = HnswIndex::build(&embedding, Metric::Cosine, &HnswConfig::default());
     let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let counter_value = |name: &str| aneci_obs::global().snapshot().counter(name).unwrap_or(0);
+    let (hops0, searches0) = (
+        counter_value("serve.hnsw.hops"),
+        counter_value("serve.hnsw.searches"),
+    );
     let t = Instant::now();
     let approx: Vec<Vec<(usize, f64)>> = queries
         .iter()
         .map(|&q| index.search(embedding.row(q), k, ef, Some(q)))
         .collect();
     let ann_qps = queries.len() as f64 / t.elapsed().as_secs_f64().max(1e-12);
+    let hops = counter_value("serve.hnsw.hops") - hops0;
+    let searches = counter_value("serve.hnsw.searches") - searches0;
+    let hops_per_search = hops as f64 / searches.max(1) as f64;
     let ann_lat = latencies_us(&queries, |q| {
         black_box(index.search(embedding.row(q), k, ef, Some(q)));
     });
@@ -535,6 +559,23 @@ fn serve_bench() {
     black_box(ann_engine.run_batch(&lines));
     let engine_ann_qps = lines.len() as f64 / t.elapsed().as_secs_f64().max(1e-12);
 
+    // LRU response cache: the same batch twice through a cache big enough to
+    // hold it — the first pass misses everything, the second hits everything,
+    // so a healthy cache reads back exactly 50%.
+    let cached_engine = QueryEngine::new(
+        EmbeddingStore::new(embedding.clone(), None),
+        EngineConfig {
+            cache_capacity: lines.len().next_power_of_two(),
+            ..EngineConfig::default()
+        },
+    );
+    black_box(cached_engine.run_batch(&lines));
+    let t = Instant::now();
+    black_box(cached_engine.run_batch(&lines));
+    let engine_cached_qps = lines.len() as f64 / t.elapsed().as_secs_f64().max(1e-12);
+    let (cache_hits, cache_misses) = cached_engine.cache_stats();
+    let cache_hit_rate = cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64;
+
     let report = serde_json::json!({
         "threads": threads,
         "nodes": n,
@@ -544,11 +585,22 @@ fn serve_bench() {
         "num_queries": queries.len(),
         "hnsw_build_ms": build_ms,
         "recall_at_10": recall,
+        "hnsw_hops": {
+            "searches": searches,
+            "total_hops": hops,
+            "hops_per_search": hops_per_search,
+        },
         "exact": lat_json(&exact_lat, exact_qps),
         "ann": lat_json(&ann_lat, ann_qps),
         "engine_jsonl": {
             "exact_qps": engine_exact_qps,
             "ann_qps": engine_ann_qps,
+            "cached_qps": engine_cached_qps,
+        },
+        "cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "hit_rate": cache_hit_rate,
         },
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
@@ -566,10 +618,163 @@ fn serve_bench() {
         percentile(&ann_lat, 0.50),
         percentile(&ann_lat, 0.99),
     );
-    println!("  engine (JSONL) exact {engine_exact_qps:.0} q/s, ann {engine_ann_qps:.0} q/s");
+    println!("  hnsw   {hops_per_search:.1} hops/search over {searches} searches");
+    println!(
+        "  engine (JSONL) exact {engine_exact_qps:.0} q/s, ann {engine_ann_qps:.0} q/s, \
+         cached {engine_cached_qps:.0} q/s (hit rate {cache_hit_rate:.2})"
+    );
     assert!(
         recall >= 0.95,
         "ANN recall@10 regressed below the 0.95 acceptance bar: {recall:.4}"
+    );
+}
+
+/// HTTP front-end benchmark: the real server on an ephemeral port, driven
+/// over TCP by concurrent keep-alive client threads. Reports wire-level qps
+/// and latency percentiles plus the server's own counters, then shuts down
+/// gracefully — a non-drained request or a shed during the steady-state run
+/// fails the bench.
+fn http_bench() {
+    use aneci_serve::engine::{EngineConfig, QueryEngine};
+    use aneci_serve::http::{client, HttpClient, HttpConfig, HttpServer};
+    use aneci_serve::store::EmbeddingStore;
+    use std::sync::Arc;
+
+    pool::force_pool();
+    let threads = pool::num_threads();
+
+    let embedding = clustered_embedding();
+    let (n, dim) = (embedding.rows(), embedding.cols());
+    let k = 10;
+    let engine = Arc::new(QueryEngine::new(
+        EmbeddingStore::new(embedding, None),
+        EngineConfig::default(),
+    ));
+
+    // A keep-alive connection occupies its worker for the connection's
+    // lifetime, so the worker count must cover the client fleet for a
+    // steady-state throughput measurement.
+    let clients = 8usize;
+    let per_client = 250usize;
+    let config = HttpConfig {
+        workers: clients + 2,
+        queue_capacity: (clients + 2) * 4,
+        ..HttpConfig::default()
+    };
+    let handle = HttpServer::start(Arc::clone(&engine), config, "127.0.0.1:0")
+        .expect("failed to start HTTP server");
+    let addr = handle.addr();
+
+    // Sanity before load: health, one query, one batch.
+    let health = client::get(addr, "/healthz").expect("healthz failed");
+    assert_eq!(health.status, 200, "{}", health.text());
+    let warm = client::post(
+        addr,
+        "/query",
+        &format!(r#"{{"op":"top_k","node":0,"k":{k}}}"#),
+    )
+    .expect("warm-up query failed");
+    assert_eq!(warm.status, 200, "{}", warm.text());
+
+    // Concurrent steady-state run: `clients` threads, each with its own
+    // keep-alive connection, each issuing `per_client` single queries.
+    let t = Instant::now();
+    let workers: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("client connect failed");
+                let mut lat = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let node = (c * per_client + i * 131) % n;
+                    let line = format!(r#"{{"op":"top_k","node":{node},"k":{k}}}"#);
+                    let t = Instant::now();
+                    let r = client.post("/query", &line).expect("query failed");
+                    lat.push(t.elapsed().as_secs_f64() * 1e6);
+                    assert_eq!(r.status, 200, "{}", r.text());
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<f64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread panicked"))
+        .collect();
+    let wall = t.elapsed().as_secs_f64();
+    lat.sort_by(f64::total_cmp);
+    let total = clients * per_client;
+    let qps = total as f64 / wall.max(1e-12);
+
+    // Batch throughput over the wire: all clients' queries in one NDJSON body.
+    let batch_body: String = (0..total)
+        .map(|i| {
+            format!(
+                "{{\"op\":\"top_k\",\"node\":{},\"k\":{k}}}\n",
+                (i * 131) % n
+            )
+        })
+        .collect();
+    let t = Instant::now();
+    let batch = client::post(addr, "/query_batch", &batch_body).expect("batch failed");
+    let batch_secs = t.elapsed().as_secs_f64();
+    assert_eq!(batch.status, 200, "{}", batch.text());
+    assert_eq!(batch.text().trim_end().lines().count(), total);
+    let batch_lps = total as f64 / batch_secs.max(1e-12);
+
+    handle.shutdown();
+
+    let snap = aneci_obs::global().snapshot();
+    let count = |name: &str| snap.counter(name).unwrap_or(0);
+    let (requests, connections, shed, reused) = (
+        count("serve.http.requests"),
+        count("serve.http.connections"),
+        count("serve.http.shed"),
+        count("serve.http.keepalive_reused"),
+    );
+    let server_lat = snap.histogram("serve.http.request_ns");
+
+    let report = serde_json::json!({
+        "threads": threads,
+        "nodes": n,
+        "dim": dim,
+        "k": k,
+        "clients": clients,
+        "requests_per_client": per_client,
+        "total_requests": total,
+        "single_query": lat_json(&lat, qps),
+        "batch": {
+            "lines": total,
+            "lines_per_sec": batch_lps,
+            "wall_ms": batch_secs * 1e3,
+        },
+        "server": {
+            "requests": requests,
+            "connections": connections,
+            "keepalive_reused": reused,
+            "shed": shed,
+            "request_p50_us": server_lat.as_ref().map_or(0.0, |h| h.p50() / 1e3),
+            "request_p99_us": server_lat.as_ref().map_or(0.0, |h| h.p99() / 1e3),
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_http.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .expect("failed to write BENCH_http.json");
+
+    println!("wrote {path} ({threads} threads, {clients} clients x {per_client} requests)");
+    println!(
+        "  single {qps:>9.0} q/s   p50 {:>8.1} us   p95 {:>8.1} us   p99 {:>8.1} us",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.95),
+        percentile(&lat, 0.99),
+    );
+    println!("  batch  {batch_lps:>9.0} lines/s over one POST /query_batch");
+    println!(
+        "  server {requests} requests on {connections} connections, \
+         {reused} keep-alive reuses, {shed} shed"
+    );
+    assert_eq!(
+        shed, 0,
+        "load was shed during a steady-state run sized to the worker fleet"
     );
 }
 

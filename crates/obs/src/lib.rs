@@ -10,7 +10,10 @@
 //! * `aneci-core` — per-epoch training metrics (loss, `Q̃`, `ΔQ̃`, gradient
 //!   norms) and phase spans (`encode` / `modularity` / `decode` / `step`);
 //! * `aneci-serve` — query latency histograms, HNSW hop counts, cache
-//!   hits/misses.
+//!   hits/misses, and the HTTP front end's `serve.http.*` series
+//!   (per-route counters, status classes, connections, keep-alive reuses,
+//!   load sheds, and the `serve.http.request_ns` latency histogram — all
+//!   of which `GET /metrics` serves back out as a snapshot).
 //!
 //! ## Model
 //!

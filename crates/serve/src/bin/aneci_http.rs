@@ -1,31 +1,46 @@
-//! `aneci_serve` — load a `.aneci` checkpoint and answer JSONL queries.
+//! `aneci_http` — load a `.aneci` checkpoint and serve embedding queries
+//! over HTTP/1.1 (see `aneci_serve::http` for the server architecture).
 //!
 //! ```text
-//! aneci_serve <checkpoint.aneci> [options] [< queries.jsonl]
+//! aneci_http <checkpoint.aneci> [options]
 //!
-//!   --queries <file>   read queries from a file instead of stdin
+//!   --addr <host:port> bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+//!   --addr-file <path> write the bound address to a file once listening
+//!                      (for scripts driving an ephemeral port)
+//!   --workers <n>      worker threads (default: hardware cores, 2..=32)
+//!   --queue <n>        connection-queue capacity (default: workers * 4)
+//!   --idle-ms <n>      keep-alive idle timeout in ms (default 5000)
+//!   --no-keepalive     close every connection after one response
 //!   --ann              build the HNSW index; answer top-k with it
 //!   --ef <n>           ANN beam width at layer 0 (default 64)
 //!   --k <n>            default k for top-k queries (default 10)
 //!   --metric <m>       default metric: cosine | dot (default cosine)
 //!   --cache <n>        LRU response-cache capacity (default 1024, 0 = off)
-//!   --threads <n>      worker threads for batch execution
+//!   --threads <n>      aneci-linalg pool threads for batch execution
 //! ```
 //!
-//! Responses go to stdout (one JSON object per input line, in input order);
-//! throughput, latency percentiles, and cache stats go to stderr.
+//! Routes: `GET /healthz`, `GET /metrics`, `POST /query`,
+//! `POST /query_batch`, `POST /shutdown`. The process runs until
+//! `POST /shutdown` (or SIGKILL), drains in-flight requests, prints the
+//! serve counters to stderr, and exits 0.
 
-use std::io::{BufWriter, Read, Write};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use aneci_core::model::AneciModel;
 use aneci_serve::engine::{EngineConfig, QueryEngine};
+use aneci_serve::http::{HttpConfig, HttpServer};
 use aneci_serve::store::{EmbeddingStore, Metric};
 
 struct Args {
     checkpoint: String,
-    queries: Option<String>,
+    addr: String,
+    addr_file: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    idle_ms: u64,
+    keep_alive: bool,
     ann: bool,
     ef: usize,
     k: usize,
@@ -35,15 +50,26 @@ struct Args {
 }
 
 fn usage() -> String {
-    "usage: aneci_serve <checkpoint.aneci> [--queries FILE] [--ann] [--ef N] \
+    "usage: aneci_http <checkpoint.aneci> [--addr HOST:PORT] [--addr-file FILE] \
+     [--workers N] [--queue N] [--idle-ms N] [--no-keepalive] [--ann] [--ef N] \
      [--k N] [--metric cosine|dot] [--cache N] [--threads N]"
         .to_string()
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("{flag} expects a non-negative integer, got {s:?}"))
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         checkpoint: String::new(),
-        queries: None,
+        addr: "127.0.0.1:7878".to_string(),
+        addr_file: None,
+        workers: None,
+        queue: None,
+        idle_ms: 5000,
+        keep_alive: true,
         ann: false,
         ef: 64,
         k: 10,
@@ -60,7 +86,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
         };
         match arg.as_str() {
-            "--queries" => args.queries = Some(value_of("--queries")?),
+            "--addr" => args.addr = value_of("--addr")?,
+            "--addr-file" => args.addr_file = Some(value_of("--addr-file")?),
+            "--workers" => args.workers = Some(parse_num(&value_of("--workers")?, "--workers")?),
+            "--queue" => args.queue = Some(parse_num(&value_of("--queue")?, "--queue")?),
+            "--idle-ms" => args.idle_ms = parse_num(&value_of("--idle-ms")?, "--idle-ms")? as u64,
+            "--no-keepalive" => args.keep_alive = false,
             "--ann" => args.ann = true,
             "--ef" => args.ef = parse_num(&value_of("--ef")?, "--ef")?,
             "--k" => args.k = parse_num(&value_of("--k")?, "--k")?,
@@ -86,11 +117,6 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
-    s.parse::<usize>()
-        .map_err(|_| format!("{flag} expects a non-negative integer, got {s:?}"))
-}
-
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv)?;
@@ -103,8 +129,7 @@ fn run() -> Result<(), String> {
     let ckpt = AneciModel::load_checkpoint(&args.checkpoint)
         .map_err(|e| format!("loading {}: {e}", args.checkpoint))?;
     let store = EmbeddingStore::from_checkpoint(&ckpt);
-    let n = store.num_nodes();
-    let d = store.dim();
+    let (n, d) = (store.num_nodes(), store.dim());
     eprintln!(
         "loaded {} ({n} nodes, dim {d}) in {:.1} ms",
         args.checkpoint,
@@ -112,7 +137,7 @@ fn run() -> Result<(), String> {
     );
 
     let t1 = Instant::now();
-    let engine = QueryEngine::new(
+    let engine = Arc::new(QueryEngine::new(
         store,
         EngineConfig {
             default_k: args.k,
@@ -122,7 +147,7 @@ fn run() -> Result<(), String> {
             cache_capacity: args.cache,
             ..EngineConfig::default()
         },
-    );
+    ));
     if args.ann {
         eprintln!(
             "built HNSW index in {:.1} ms",
@@ -130,50 +155,40 @@ fn run() -> Result<(), String> {
         );
     }
 
-    let raw = match &args.queries {
-        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
-        None => {
-            let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .map_err(|e| format!("reading stdin: {e}"))?;
-            buf
-        }
+    let defaults = HttpConfig::default();
+    let config = HttpConfig {
+        workers: args.workers.unwrap_or(defaults.workers),
+        queue_capacity: args
+            .queue
+            .unwrap_or_else(|| args.workers.map_or(defaults.queue_capacity, |w| w * 4)),
+        keep_alive: args.keep_alive,
+        idle_timeout: Duration::from_millis(args.idle_ms.max(1)),
+        ..defaults
     };
-    // Every input line gets a response line, in order — blank or malformed
-    // lines come back as typed `{"kind":"error",...}` responses rather than
-    // being dropped, so output stays aligned with input.
-    let lines: Vec<&str> = raw.lines().collect();
-    if lines.is_empty() {
-        eprintln!("no queries");
-        return Ok(());
+    let workers = config.workers;
+    let queue = config.queue_capacity;
+    let handle = HttpServer::start(engine, config, args.addr.as_str())
+        .map_err(|e| format!("binding {}: {e}", args.addr))?;
+    let addr = handle.addr();
+    eprintln!("listening on http://{addr} ({workers} workers, queue {queue})");
+    if let Some(path) = &args.addr_file {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("writing {path}: {e}"))?;
     }
 
-    // Batch execution; the engine records per-query latency into the
-    // `serve.query_ns` histogram of the aneci-obs registry as it runs, so
-    // percentiles come straight from telemetry instead of a second
-    // hand-timed pass over the queries.
-    let t2 = Instant::now();
-    let responses = engine.run_batch(&lines);
-    let batch_secs = t2.elapsed().as_secs_f64();
+    // Runs until POST /shutdown flips the drain flag; then in-flight and
+    // queued work completes and the threads join.
+    handle.wait();
 
-    let stdout = std::io::stdout();
-    let mut out = BufWriter::new(stdout.lock());
-    for r in &responses {
-        writeln!(out, "{r}").map_err(|e| format!("writing stdout: {e}"))?;
-    }
-    out.flush().map_err(|e| format!("flushing stdout: {e}"))?;
-
-    let (hits, misses) = engine.cache_stats();
-    eprintln!(
-        "{} queries in {:.1} ms — {:.0} q/s ({})",
-        lines.len(),
-        batch_secs * 1e3,
-        lines.len() as f64 / batch_secs.max(1e-12),
-        if args.ann { "ann" } else { "exact" },
-    );
     let snap = aneci_obs::global().snapshot();
-    if let Some(lat) = snap.histogram("serve.query_ns") {
+    let count = |name: &str| snap.counter(name).unwrap_or(0);
+    eprintln!(
+        "shut down after {} requests on {} connections ({} shed, {} keep-alive reuses)",
+        count("serve.http.requests"),
+        count("serve.http.connections"),
+        count("serve.http.shed"),
+        count("serve.http.keepalive_reused"),
+    );
+    if let Some(lat) = snap.histogram("serve.http.request_ns") {
         eprintln!(
             "latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms ({} recorded)",
             lat.p50() / 1e6,
@@ -181,22 +196,6 @@ fn run() -> Result<(), String> {
             lat.p99() / 1e6,
             lat.count,
         );
-    }
-    if args.ann {
-        if let (Some(hops), Some(searches)) = (
-            snap.counter("serve.hnsw.hops"),
-            snap.counter("serve.hnsw.searches"),
-        ) {
-            if searches > 0 {
-                eprintln!(
-                    "hnsw: {searches} searches, {:.1} hops/search",
-                    hops as f64 / searches as f64
-                );
-            }
-        }
-    }
-    if args.cache > 0 {
-        eprintln!("cache: {hits} hits, {misses} misses");
     }
     Ok(())
 }

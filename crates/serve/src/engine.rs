@@ -11,9 +11,11 @@
 //! {"op":"edge_score","u":3,"v":40}
 //! ```
 //!
-//! Malformed lines produce an `{"kind":"error",...}` response on the
-//! corresponding output line — they never panic and never shift the
-//! alignment between inputs and outputs.
+//! Malformed lines produce a typed `{"kind":"error","code":...,...}`
+//! response on the corresponding output line — they never panic and never
+//! shift the alignment between inputs and outputs. The [`ErrorCode`] on
+//! every error response is shared with the HTTP front end (`crate::http`),
+//! which maps it onto a 4xx/5xx status line.
 //!
 //! Batches run on the persistent pool (`aneci_linalg::pool`) in fixed
 //! chunks; since every query handler is deterministic, responses are
@@ -47,6 +49,52 @@ pub enum Query {
     EdgeScore { u: usize, v: usize },
 }
 
+/// Machine-readable classification of an error response, shared by the
+/// JSONL and HTTP serving paths. Serialized in `snake_case` (for example
+/// `{"kind":"error","code":"not_found",...}`); [`ErrorCode::http_status`]
+/// is the HTTP front end's status-line mapping.
+#[derive(Serialize, Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+#[serde(rename_all = "snake_case")]
+pub enum ErrorCode {
+    /// The request was syntactically or semantically malformed.
+    BadRequest,
+    /// The request was well-formed but names something that doesn't exist
+    /// (node out of range, membership on a store without one, no route).
+    NotFound,
+    /// The HTTP method isn't supported on this route.
+    MethodNotAllowed,
+    /// The peer stalled or the request arrived truncated.
+    Timeout,
+    /// The request body exceeds the configured limit.
+    PayloadTooLarge,
+    /// The request line + headers exceed the configured limit.
+    HeadersTooLarge,
+    /// A required protocol feature isn't implemented (e.g. a
+    /// `Transfer-Encoding` other than `chunked`).
+    Unsupported,
+    /// The server shed the request under load (bounded queue full).
+    Overloaded,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The HTTP status code this error class maps to.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest => 400,
+            ErrorCode::NotFound => 404,
+            ErrorCode::MethodNotAllowed => 405,
+            ErrorCode::Timeout => 408,
+            ErrorCode::PayloadTooLarge => 413,
+            ErrorCode::HeadersTooLarge => 431,
+            ErrorCode::Unsupported => 501,
+            ErrorCode::Overloaded => 503,
+            ErrorCode::Internal => 500,
+        }
+    }
+}
+
 /// A scored neighbor in a [`Response::Neighbors`].
 #[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
 pub struct Neighbor {
@@ -76,8 +124,19 @@ pub enum Response {
         score: f64,
     },
     Error {
+        code: ErrorCode,
         error: String,
     },
+}
+
+impl Response {
+    /// The error classification, when this is an error response.
+    pub fn error_code(&self) -> Option<ErrorCode> {
+        match self {
+            Response::Error { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
 }
 
 /// Engine construction parameters.
@@ -204,32 +263,51 @@ impl QueryEngine {
             None => self.config.default_metric,
             Some(name) => match Metric::parse(name) {
                 Some(m) => m,
-                None => return err(format!("unknown metric {name:?} (cosine|dot)")),
+                None => {
+                    return err(
+                        ErrorCode::BadRequest,
+                        format!("unknown metric {name:?} (cosine|dot)"),
+                    )
+                }
             },
         };
         let owned;
         let (query, exclude): (&[f64], Option<usize>) = match (node, vector) {
             (Some(_), Some(_)) => {
-                return err("top_k takes either \"node\" or \"vector\", not both")
+                return err(
+                    ErrorCode::BadRequest,
+                    "top_k takes either \"node\" or \"vector\", not both",
+                )
             }
-            (None, None) => return err("top_k needs a \"node\" or a \"vector\""),
+            (None, None) => {
+                return err(
+                    ErrorCode::BadRequest,
+                    "top_k needs a \"node\" or a \"vector\"",
+                )
+            }
             (Some(n), None) => {
                 if n >= self.store.num_nodes() {
-                    return err(format!(
-                        "node {n} out of range (store has {} nodes)",
-                        self.store.num_nodes()
-                    ));
+                    return err(
+                        ErrorCode::NotFound,
+                        format!(
+                            "node {n} out of range (store has {} nodes)",
+                            self.store.num_nodes()
+                        ),
+                    );
                 }
                 owned = self.store.vector_of(n).to_vec();
                 (&owned, Some(n))
             }
             (None, Some(v)) => {
                 if v.len() != self.store.dim() {
-                    return err(format!(
-                        "vector has {} dims, store embeds in {}",
-                        v.len(),
-                        self.store.dim()
-                    ));
+                    return err(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "vector has {} dims, store embeds in {}",
+                            v.len(),
+                            self.store.dim()
+                        ),
+                    );
                 }
                 (v, None)
             }
@@ -258,10 +336,13 @@ impl QueryEngine {
 
     fn run_community(&self, node: usize) -> Response {
         if node >= self.store.num_nodes() {
-            return err(format!(
-                "node {node} out of range (store has {} nodes)",
-                self.store.num_nodes()
-            ));
+            return err(
+                ErrorCode::NotFound,
+                format!(
+                    "node {node} out of range (store has {} nodes)",
+                    self.store.num_nodes()
+                ),
+            );
         }
         match (self.store.community(node), self.store.membership_row(node)) {
             (Some(community), Some(row)) => Response::Community {
@@ -269,16 +350,20 @@ impl QueryEngine {
                 community,
                 membership: row.to_vec(),
             },
-            _ => err("store was built without community membership"),
+            _ => err(
+                ErrorCode::NotFound,
+                "store was built without community membership",
+            ),
         }
     }
 
     fn run_edge_score(&self, u: usize, v: usize) -> Response {
         let n = self.store.num_nodes();
         if u >= n || v >= n {
-            return err(format!(
-                "edge ({u}, {v}) out of range (store has {n} nodes)"
-            ));
+            return err(
+                ErrorCode::NotFound,
+                format!("edge ({u}, {v}) out of range (store has {n} nodes)"),
+            );
         }
         Response::EdgeScore {
             u,
@@ -306,7 +391,7 @@ impl QueryEngine {
         }
         let response = match serde_json::from_str::<Query>(key) {
             Ok(q) => self.run(&q),
-            Err(e) => err(format!("bad query: {e}")),
+            Err(e) => err(ErrorCode::BadRequest, format!("bad query: {e}")),
         };
         let out = serde_json::to_string(&response).expect("response serialization cannot fail");
         if let Some(cache) = &self.cache {
@@ -337,8 +422,9 @@ impl QueryEngine {
     }
 }
 
-fn err(message: impl Into<String>) -> Response {
+fn err(code: ErrorCode, message: impl Into<String>) -> Response {
     Response::Error {
+        code,
         error: message.into(),
     }
 }

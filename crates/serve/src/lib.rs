@@ -11,11 +11,16 @@
 //! * [`cache`] — [`cache::LruCache`]: O(1) LRU response cache with hit/miss
 //!   counters;
 //! * [`engine`] — [`engine::QueryEngine`]: JSONL in, JSONL out, batched
-//!   concurrently on the persistent pool with deterministic output order.
+//!   concurrently on the persistent pool with deterministic output order;
+//! * [`http`] — [`http::HttpServer`]: a from-scratch, zero-dependency
+//!   HTTP/1.1 front end over the engine (bounded-queue worker dispatch,
+//!   keep-alive, load shedding, graceful shutdown).
 //!
-//! The `aneci_serve` binary (`src/bin/aneci_serve.rs`) wires these together
-//! behind a CLI: load a checkpoint, read queries from a file or stdin,
-//! write responses to stdout and serving stats to stderr.
+//! Two binaries wire these together behind CLIs: `aneci_serve`
+//! (`src/bin/aneci_serve.rs`) answers JSONL queries from a file or stdin;
+//! `aneci_http` (`src/bin/aneci_http.rs`) serves the same queries over a
+//! TCP socket (`GET /healthz`, `GET /metrics`, `POST /query`,
+//! `POST /query_batch`).
 //!
 //! ```no_run
 //! use aneci_core::model::AneciModel;
@@ -30,9 +35,11 @@
 pub mod cache;
 pub mod engine;
 pub mod hnsw;
+pub mod http;
 pub mod store;
 
 pub use cache::LruCache;
-pub use engine::{EngineConfig, Neighbor, Query, QueryEngine, Response};
+pub use engine::{EngineConfig, ErrorCode, Neighbor, Query, QueryEngine, Response};
 pub use hnsw::{recall_at_k, HnswConfig, HnswIndex};
+pub use http::{HttpConfig, HttpServer, ServerHandle};
 pub use store::{EmbeddingStore, Metric, Scored};

@@ -1,0 +1,401 @@
+//! End-to-end tests for the HTTP/1.1 front end: routing parity with the
+//! JSONL engine, typed 4xx/5xx bodies, raw-socket parser edge cases, and —
+//! the two load-bearing guarantees — 503 load shedding under queue
+//! saturation and graceful shutdown that drains in-flight requests.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use aneci_core::{train_aneci, AneciConfig};
+use aneci_graph::karate_club;
+use aneci_serve::engine::{EngineConfig, QueryEngine};
+use aneci_serve::http::{client, HttpClient, HttpConfig, HttpServer, ServerHandle};
+use aneci_serve::store::EmbeddingStore;
+
+fn engine() -> Arc<QueryEngine> {
+    let graph = karate_club();
+    let mut config = AneciConfig::for_community_detection(2, 42);
+    config.epochs = 30;
+    let (model, _) = train_aneci(&graph, &config).unwrap();
+    let ckpt = model.checkpoint().unwrap();
+    Arc::new(QueryEngine::new(
+        EmbeddingStore::from_checkpoint(&ckpt),
+        EngineConfig::default(),
+    ))
+}
+
+/// A server on an ephemeral port with test-friendly timeouts.
+fn server(config: HttpConfig) -> (Arc<QueryEngine>, ServerHandle) {
+    let engine = engine();
+    let handle = HttpServer::start(Arc::clone(&engine), config, "127.0.0.1:0").unwrap();
+    (engine, handle)
+}
+
+fn default_server() -> (Arc<QueryEngine>, ServerHandle) {
+    server(HttpConfig {
+        workers: 2,
+        queue_capacity: 8,
+        ..HttpConfig::default()
+    })
+}
+
+/// A raw connection the tests can feed arbitrary (malformed) bytes.
+fn raw_connect(handle: &ServerHandle) -> TcpStream {
+    let stream = TcpStream::connect_timeout(&handle.addr(), Duration::from_secs(5)).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+}
+
+/// Reads until EOF and returns `(status, full_text)`.
+fn read_to_eof(stream: &mut TcpStream) -> (u16, String) {
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    (status, text)
+}
+
+#[test]
+fn healthz_query_metrics_round_trip() {
+    let (engine, handle) = default_server();
+    let addr = handle.addr();
+
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let text = health.text();
+    assert!(text.contains(r#""status":"serving""#), "{text}");
+    assert!(text.contains(r#""nodes":34"#), "{text}");
+
+    // The HTTP answer is byte-identical to the JSONL engine's answer.
+    let line = r#"{"op":"top_k","node":0,"k":5}"#;
+    let response = client::post(addr, "/query", line).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.text(), engine.run_line(line));
+    assert_eq!(response.header("content-type"), Some("application/json"));
+
+    // Batch: three lines in, three aligned lines out, bad line typed in place.
+    let batch =
+        "{\"op\":\"community\",\"node\":1}\nnot json\n{\"op\":\"edge_score\",\"u\":0,\"v\":1}";
+    let response = client::post(addr, "/query_batch", batch).unwrap();
+    assert_eq!(response.status, 200);
+    let body = response.text();
+    let lines: Vec<&str> = body.trim_end().split('\n').map(str::trim).collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains(r#""kind":"community""#), "{}", lines[0]);
+    assert!(lines[1].contains(r#""kind":"error""#), "{}", lines[1]);
+    assert!(lines[1].contains(r#""code":"bad_request""#), "{}", lines[1]);
+    assert!(lines[2].contains(r#""kind":"edge_score""#), "{}", lines[2]);
+
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(text.contains("serve.http.requests"), "{text}");
+    assert!(text.contains("serve.http.route.query"), "{text}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn typed_errors_carry_code_and_status() {
+    let (_engine, handle) = default_server();
+    let addr = handle.addr();
+
+    // Malformed query JSON → 400 bad_request.
+    let r = client::post(addr, "/query", "{definitely not json").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains(r#""code":"bad_request""#), "{}", r.text());
+
+    // Out-of-range node → 404 not_found (karate club has 34 nodes).
+    let r = client::post(addr, "/query", r#"{"op":"top_k","node":9999,"k":5}"#).unwrap();
+    assert_eq!(r.status, 404);
+    assert!(r.text().contains(r#""code":"not_found""#), "{}", r.text());
+
+    // Empty body → 400.
+    let r = client::post(addr, "/query", "").unwrap();
+    assert_eq!(r.status, 400);
+
+    // Unknown route → 404; wrong method on a known route → 405.
+    let r = client::get(addr, "/nope").unwrap();
+    assert_eq!(r.status, 404);
+    assert!(r.text().contains(r#""code":"not_found""#), "{}", r.text());
+    let r = client::get(addr, "/query").unwrap();
+    assert_eq!(r.status, 405);
+    assert!(
+        r.text().contains(r#""code":"method_not_allowed""#),
+        "{}",
+        r.text()
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn parser_rejects_garbage_without_panicking() {
+    let (_engine, handle) = default_server();
+
+    // Oversized headers → 431.
+    let mut s = raw_connect(&handle);
+    write!(s, "GET /healthz HTTP/1.1\r\n").unwrap();
+    let filler = format!("x-filler: {}\r\n", "a".repeat(1024));
+    for _ in 0..16 {
+        // 16 KiB of headers against an 8 KiB budget; the server may close
+        // mid-write once the budget trips, so write errors are fine here.
+        if s.write_all(filler.as_bytes()).is_err() {
+            break;
+        }
+    }
+    let _ = s.write_all(b"\r\n");
+    let (status, text) = read_to_eof(&mut s);
+    assert_eq!(status, 431, "{text}");
+    assert!(text.contains(r#""code":"headers_too_large""#), "{text}");
+
+    // Truncated chunked body (EOF mid-chunk) → 408.
+    let mut s = raw_connect(&handle);
+    write!(
+        s,
+        "POST /query HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n20\r\n{{\"op\":"
+    )
+    .unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let (status, text) = read_to_eof(&mut s);
+    assert_eq!(status, 408, "{text}");
+
+    // Malformed chunk size → 400.
+    let mut s = raw_connect(&handle);
+    write!(
+        s,
+        "POST /query HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nzz\r\nhello\r\n0\r\n\r\n"
+    )
+    .unwrap();
+    let (status, text) = read_to_eof(&mut s);
+    assert_eq!(status, 400, "{text}");
+    assert!(text.contains(r#""code":"bad_request""#), "{text}");
+
+    // Garbage request line → 400.
+    let mut s = raw_connect(&handle);
+    write!(s, "completely wrong\r\n\r\n").unwrap();
+    let (status, _) = read_to_eof(&mut s);
+    assert_eq!(status, 400);
+
+    // Zero-length POST /query body parses fine and earns a typed 400.
+    let mut s = raw_connect(&handle);
+    write!(
+        s,
+        "POST /query HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let (status, text) = read_to_eof(&mut s);
+    assert_eq!(status, 400, "{text}");
+    assert!(text.contains(r#""code":"bad_request""#), "{text}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_keep_alive_requests_answered_in_order() {
+    let (engine, handle) = default_server();
+
+    // Two requests in one write; both answers must come back, in order.
+    let line = r#"{"op":"community","node":3}"#;
+    let mut s = raw_connect(&handle);
+    write!(
+        s,
+        "GET /healthz HTTP/1.1\r\n\r\nPOST /query HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{line}",
+        line.len()
+    )
+    .unwrap();
+    let (first_status, text) = read_to_eof(&mut s);
+    assert_eq!(first_status, 200);
+    assert!(text.contains(r#""kind":"health""#), "{text}");
+    // The second response follows in the same byte stream.
+    let second = text
+        .match_indices("HTTP/1.1 ")
+        .nth(1)
+        .map(|(i, _)| &text[i..])
+        .expect("second pipelined response missing");
+    assert!(second.starts_with("HTTP/1.1 200"), "{second}");
+    assert!(second.contains(&engine.run_line(line)), "{second}");
+
+    // Sequential keep-alive reuse over one client connection.
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let first = client.get("/healthz").unwrap();
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    let second = client.post("/query", line).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.text(), engine.run_line(line));
+
+    handle.shutdown();
+}
+
+/// Occupies a worker by starting a request and never finishing it. The
+/// in-flight counter rises once the first bytes land, and the worker blocks
+/// reading the rest (bounded by the server's idle timeout).
+fn occupy_worker(handle: &ServerHandle) -> TcpStream {
+    let mut s = raw_connect(handle);
+    write!(s, "POST /query HTTP/1.1\r\ncontent-length: 30\r\n\r\n").unwrap();
+    s.flush().unwrap();
+    for _ in 0..200 {
+        if handle.in_flight() > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(handle.in_flight() > 0, "worker never picked up the request");
+    s
+}
+
+#[test]
+fn saturated_queue_sheds_with_503() {
+    // One worker, queue of one: the worker is pinned on a half-sent
+    // request, one connection fills the queue, and everything after that
+    // must be answered 503 immediately — the queue must not grow.
+    let (_engine, handle) = server(HttpConfig {
+        workers: 1,
+        queue_capacity: 1,
+        idle_timeout: Duration::from_secs(10),
+        ..HttpConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut pinned = occupy_worker(&handle);
+
+    // Fill the queue (this connection parks until the worker frees up).
+    let mut queued = raw_connect(&handle);
+    write!(queued, "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Everything beyond the queue is shed with a typed 503.
+    let mut shed_seen = 0;
+    for _ in 0..10 {
+        match client::get(addr, "/healthz") {
+            Ok(r) if r.status == 503 => {
+                assert!(r.text().contains(r#""code":"overloaded""#), "{}", r.text());
+                shed_seen += 1;
+            }
+            Ok(r) => panic!("expected 503 while saturated, got {}", r.status),
+            // The shed write can race the client close; a dropped
+            // connection is still a shed, just not a counted one.
+            Err(_) => {}
+        }
+    }
+    assert!(shed_seen > 0, "no 503 observed under saturation");
+
+    // Unpin the worker: the stuck request completes, then the queued
+    // connection gets served.
+    write!(pinned, "{:<30}", r#"{"op":"community","node":0}"#).unwrap();
+    let (status, _) = read_to_eof(&mut pinned);
+    assert_eq!(status, 200);
+    let (status, text) = read_to_eof(&mut queued);
+    assert_eq!(status, 200, "{text}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_queued() {
+    let (_engine, handle) = server(HttpConfig {
+        workers: 1,
+        queue_capacity: 4,
+        idle_timeout: Duration::from_secs(10),
+        ..HttpConfig::default()
+    });
+
+    // One request mid-flight, one connection waiting in the queue.
+    let mut in_flight = occupy_worker(&handle);
+    let mut queued = raw_connect(&handle);
+    write!(queued, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Shutdown from another thread; it must block until both are served.
+    let shutdown = std::thread::spawn(move || handle.shutdown());
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(!shutdown.is_finished(), "shutdown did not wait for drain");
+
+    // Finish the in-flight request: it still gets its full 200, with
+    // `connection: close` because the server is draining.
+    write!(in_flight, "{:<30}", r#"{"op":"community","node":0}"#).unwrap();
+    let (status, text) = read_to_eof(&mut in_flight);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains(r#""kind":"community""#), "{text}");
+    assert!(text.contains("connection: close"), "{text}");
+
+    // The queued connection is drained too, not dropped.
+    let (status, text) = read_to_eof(&mut queued);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains(r#""kind":"health""#), "{text}");
+
+    shutdown.join().unwrap();
+}
+
+#[test]
+fn shutdown_route_stops_the_server() {
+    let (_engine, handle) = server(HttpConfig {
+        workers: 2,
+        queue_capacity: 4,
+        ..HttpConfig::default()
+    });
+    let addr = handle.addr();
+    let r = client::post(addr, "/shutdown", "").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.text().contains(r#""status":"draining""#), "{}", r.text());
+    // wait() returns once the drain completes.
+    handle.wait();
+    // The listener is gone: new connections fail (or are reset unread).
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(s) => {
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut buf = Vec::new();
+            let n = (&s).read_to_end(&mut buf).unwrap_or(0);
+            assert_eq!(n, 0, "server answered after shutdown: {buf:?}");
+        }
+    }
+}
+
+#[test]
+fn jsonl_binary_keeps_blank_and_bad_lines_aligned() {
+    // Satellite regression: `aneci_serve` must answer every input line in
+    // order — blank/malformed lines come back as typed errors, not dropped.
+    let graph = karate_club();
+    let mut config = AneciConfig::for_community_detection(2, 42);
+    config.epochs = 30;
+    let (model, _) = train_aneci(&graph, &config).unwrap();
+    let dir = std::env::temp_dir().join("aneci_http_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt_path = dir.join("align.aneci");
+    model.save_checkpoint(&ckpt_path).unwrap();
+    let queries_path = dir.join("align_queries.jsonl");
+    std::fs::write(
+        &queries_path,
+        "{\"op\":\"community\",\"node\":1}\n\nnot json\n{\"op\":\"edge_score\",\"u\":0,\"v\":1}\n",
+    )
+    .unwrap();
+
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_aneci_serve"))
+        .arg(ckpt_path.as_os_str())
+        .arg("--queries")
+        .arg(queries_path.as_os_str())
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<&str> = stdout.trim_end().split('\n').collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    assert!(lines[0].contains(r#""kind":"community""#), "{}", lines[0]);
+    assert!(lines[1].contains(r#""code":"bad_request""#), "{}", lines[1]);
+    assert!(lines[2].contains(r#""code":"bad_request""#), "{}", lines[2]);
+    assert!(lines[3].contains(r#""kind":"edge_score""#), "{}", lines[3]);
+
+    std::fs::remove_file(&ckpt_path).ok();
+    std::fs::remove_file(&queries_path).ok();
+}

@@ -121,7 +121,12 @@ fn batch_serving_deterministic_across_thread_counts() {
     pool::set_num_threads(4);
     assert_eq!(multi, single);
 
+    // 100 distinct queries thrash a 32-entry LRU, so whether the batches
+    // themselves hit depends on chunk scheduling; assert on a back-to-back
+    // repeat instead, which hits deterministically.
+    let (hits_before, _) = engine.cache_stats();
+    assert_eq!(engine.run_line(&lines[0]), engine.run_line(&lines[0]));
     let (hits, misses) = engine.cache_stats();
-    assert!(hits > 0, "repeated queries should hit the cache");
+    assert!(hits > hits_before, "repeated query should hit the cache");
     assert!(misses > 0);
 }

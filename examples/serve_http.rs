@@ -1,0 +1,75 @@
+//! HTTP serving demo: train a model, checkpoint it, stand up the HTTP/1.1
+//! server on an ephemeral port, and query it over TCP — the full round trip
+//! the `aneci_http` binary serves, in one process.
+//!
+//! ```sh
+//! cargo run --release --example serve_http
+//! ```
+
+use std::sync::Arc;
+
+use aneci::prelude::*;
+use aneci::serve::http::HttpClient;
+
+fn main() {
+    // 1. Train and checkpoint (any trained model works; karate club is
+    //    instant).
+    let graph = karate_club();
+    let config = AneciConfig::for_community_detection(2, 42);
+    let (model, _) = train_aneci(&graph, &config).expect("training failed");
+    let path = std::env::temp_dir().join("serve_http.aneci");
+    model.save_checkpoint(&path).expect("saving checkpoint");
+    println!("checkpoint written to {}", path.display());
+
+    // 2. Reload it into an engine and start the server. Port 0 picks a free
+    //    ephemeral port; the handle reports what was bound.
+    let ckpt = AneciModel::load_checkpoint(&path).expect("loading checkpoint");
+    let engine = Arc::new(QueryEngine::new(
+        EmbeddingStore::from_checkpoint(&ckpt),
+        EngineConfig {
+            cache_capacity: 64,
+            ..EngineConfig::default()
+        },
+    ));
+    let handle = HttpServer::start(engine, HttpConfig::default(), "127.0.0.1:0")
+        .expect("starting HTTP server");
+    println!("serving on http://{}", handle.addr());
+
+    // 3. Talk to it over a real TCP connection, reused across requests
+    //    (keep-alive). `curl http://ADDR/healthz` would see the same bytes.
+    let mut client = HttpClient::connect(handle.addr()).expect("connecting");
+
+    let health = client.get("/healthz").expect("healthz");
+    println!("GET /healthz       -> {} {}", health.status, health.text());
+
+    let query = r#"{"op":"top_k","node":0,"k":5}"#;
+    let top_k = client.post("/query", query).expect("query");
+    println!("POST /query        -> {} {}", top_k.status, top_k.text());
+
+    // Batches are newline-delimited queries; a malformed line answers with
+    // a typed error *in place*, keeping responses aligned with requests.
+    let batch = "{\"op\":\"community\",\"node\":8}\n\
+                 not json at all\n\
+                 {\"op\":\"edge_score\",\"u\":0,\"v\":33}";
+    let responses = client.post("/query_batch", batch).expect("batch");
+    println!("POST /query_batch  -> {}", responses.status);
+    for line in responses.text().trim_end().lines() {
+        println!("  {line}");
+    }
+
+    // The server's own traffic shows up in its telemetry endpoint.
+    let metrics = client.get("/metrics").expect("metrics");
+    let served = metrics
+        .text()
+        .lines()
+        .filter(|l| l.contains("serve.http."))
+        .count();
+    println!(
+        "GET /metrics       -> {} ({served} serve.http.* series)",
+        metrics.status
+    );
+
+    // 4. Graceful shutdown: stop accepting, drain in-flight work, join.
+    handle.shutdown();
+    println!("server drained and shut down");
+}

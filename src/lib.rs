@@ -14,7 +14,7 @@
 //! | [`baselines`] | DeepWalk, LINE, GAE/VGAE, DGI, GCN, Dominant, spectral, Louvain |
 //! | [`attacks`] | random / FGA / NETTACK-style attacks, outlier seeding |
 //! | [`eval`] | metrics, logistic regression, k-means++, isolation forest, t-SNE |
-//! | [`serve`] | `.aneci` checkpoints, exact + HNSW ANN queries, JSONL engine |
+//! | [`serve`] | `.aneci` checkpoints, exact + HNSW ANN queries, JSONL engine, HTTP/1.1 server |
 //!
 //! ## Quickstart
 //!
@@ -60,5 +60,7 @@ pub mod prelude {
         LfrConfig, SbmConfig,
     };
     pub use aneci_linalg::DenseMatrix;
-    pub use aneci_serve::{EmbeddingStore, EngineConfig, QueryEngine};
+    pub use aneci_serve::{
+        EmbeddingStore, EngineConfig, HttpConfig, HttpServer, QueryEngine, ServerHandle,
+    };
 }
