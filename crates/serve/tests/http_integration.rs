@@ -242,7 +242,13 @@ fn pipelined_keep_alive_requests_answered_in_order() {
 /// reading the rest (bounded by the server's idle timeout).
 fn occupy_worker(handle: &ServerHandle) -> TcpStream {
     let mut s = raw_connect(handle);
-    write!(s, "POST /query HTTP/1.1\r\ncontent-length: 30\r\n\r\n").unwrap();
+    // `connection: close` makes the server close right after responding, so
+    // read_to_eof sees EOF instead of racing the keep-alive idle timeout.
+    write!(
+        s,
+        "POST /query HTTP/1.1\r\ncontent-length: 30\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
     s.flush().unwrap();
     for _ in 0..200 {
         if handle.in_flight() > 0 {
