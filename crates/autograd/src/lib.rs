@@ -10,6 +10,10 @@
 //! * [`train`] — the shared [`train::Trainer`] engine that owns the
 //!   tape-rebuild/backward/step loop (stop rules, LR schedules, clipping,
 //!   divergence guard, telemetry) for the core model and every baseline;
+//! * [`train_batch`] — mini-batch extension: deterministic
+//!   community-aware / GraphSAGE-style batch sampling
+//!   ([`train_batch::BatchSampler`]) and the per-batch
+//!   [`train_batch::BatchTrainStep`] loop `Trainer::run_batched`;
 //! * [`gradcheck`] — central-difference verification used throughout the
 //!   workspace's test suites.
 //!
@@ -29,6 +33,7 @@ pub mod gradcheck;
 pub mod optim;
 pub mod tape;
 pub mod train;
+pub mod train_batch;
 
 pub use gradcheck::{check_gradient, GradCheck};
 pub use optim::{Adam, ParamSet, Sgd};
@@ -37,6 +42,7 @@ pub use train::{
     EpochStats, LrSchedule, Objective, Optimizer, OptimizerKind, StepOutput, StopRule, TrainError,
     TrainRun, TrainStep, Trainer,
 };
+pub use train_batch::{BatchSampler, BatchStrategy, BatchTrainStep};
 
 #[cfg(test)]
 mod proptests {

@@ -334,12 +334,12 @@ impl Error for TrainError {}
 /// exact per-epoch pipeline.
 #[derive(Clone, Debug)]
 pub struct Trainer {
-    epochs: usize,
-    stop: StopRule,
-    clip_norm: Option<f64>,
-    lr_schedule: LrSchedule,
-    guard_divergence: bool,
-    obs_prefix: Option<String>,
+    pub(crate) epochs: usize,
+    pub(crate) stop: StopRule,
+    pub(crate) clip_norm: Option<f64>,
+    pub(crate) lr_schedule: LrSchedule,
+    pub(crate) guard_divergence: bool,
+    pub(crate) obs_prefix: Option<String>,
 }
 
 impl Trainer {

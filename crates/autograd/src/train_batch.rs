@@ -1,0 +1,621 @@
+//! Mini-batch extension of the shared training engine.
+//!
+//! [`Trainer::run_batched`] generalizes [`Trainer::run`] from one loss per
+//! epoch to a sequence of per-batch losses, each with its own
+//! backward/clip/optimizer step, while keeping the epoch-level contract
+//! (best tracking, divergence guard, schedules, early stopping, telemetry)
+//! identical — an epoch whose plan holds a single batch covering every node
+//! executes *exactly* the [`Trainer::run`] pipeline, which is what the
+//! full-batch/mini-batch parity test pins bit-exactly.
+//!
+//! [`BatchSampler`] produces the per-epoch batch plans:
+//!
+//! * [`BatchStrategy::CommunityAware`] — sample whole communities, then
+//!   their l-hop neighborhoods, so the modularity term is computed on a
+//!   coherent induced subgraph (the signal AnECI's loss depends on);
+//! * [`BatchStrategy::NeighborSampling`] — GraphSAGE-style uniform neighbor
+//!   expansion from shuffled seed nodes, the generic fallback when no
+//!   community structure is known;
+//! * [`BatchStrategy::FullGraph`] — one batch with every node (the parity /
+//!   debugging strategy).
+//!
+//! Sampling is a *serial* walk of one RNG stream derived from
+//! `(seed, 0xBA7C, epoch)` — no pooled code touches it — so plans are
+//! bit-identical across `ANECI_NUM_THREADS` and chunk decompositions by
+//! construction (pinned by `tests/minibatch_parity.rs`).
+//!
+//! Every batch records `train.batch.nodes` (histogram), and wall-time
+//! histograms `train.batch.sample_ns` / `train.batch.step_ns` (excluded,
+//! like all `_ns` metrics, from deterministic obs snapshots).
+
+use crate::optim::ParamSet;
+use crate::tape::{Tape, Var};
+use crate::train::{
+    EpochStats, LrSchedule, Objective, Optimizer, StepOutput, StopRule, TrainError, TrainRun,
+    Trainer,
+};
+use aneci_linalg::rng::{derive_seed, sample_distinct, seeded_rng, shuffle};
+use aneci_linalg::CsrMatrix;
+use std::time::Instant;
+
+/// RNG stream label for batch sampling (derived once per sampler seed; the
+/// epoch index is derived on top per plan).
+const BATCH_STREAM: u64 = 0xBA7C;
+
+/// How an epoch's node set is cut into training batches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BatchStrategy {
+    /// One batch holding every node — the reference strategy:
+    /// `run_batched` with this plan is bit-exact with `run`.
+    FullGraph,
+    /// Community-aware subgraph sampling: shuffle the communities, group
+    /// `communities_per_batch` of them per batch, and expand each group's
+    /// member set by `hops` adjacency hops (the high-order neighborhood the
+    /// proximity matrix couples them to), capping the batch at
+    /// `max_batch_nodes` nodes (`0` = uncapped).
+    CommunityAware {
+        /// Communities seeding each batch.
+        communities_per_batch: usize,
+        /// Neighborhood expansion hops added around the sampled communities.
+        hops: usize,
+        /// Hard cap on nodes per batch after expansion (`0` = uncapped).
+        max_batch_nodes: usize,
+    },
+    /// GraphSAGE-style uniform neighbor sampling: shuffle all nodes, take
+    /// `seeds_per_batch` seeds per batch, and for `hops` rounds add up to
+    /// `fanout` uniformly-sampled neighbors of every frontier node.
+    NeighborSampling {
+        /// Seed nodes per batch.
+        seeds_per_batch: usize,
+        /// Neighbors sampled per frontier node per hop.
+        fanout: usize,
+        /// Expansion rounds.
+        hops: usize,
+    },
+}
+
+/// Deterministic per-epoch batch planner over a CSR adjacency. Community
+/// assignments are optional; [`BatchStrategy::CommunityAware`] requires
+/// them.
+pub struct BatchSampler<'a> {
+    adjacency: &'a CsrMatrix,
+    strategy: BatchStrategy,
+    seed: u64,
+    /// Members of each community, ascending (CommunityAware only).
+    groups: Vec<Vec<u32>>,
+}
+
+impl<'a> BatchSampler<'a> {
+    /// Builds a sampler. `communities[i]` is node `i`'s community id;
+    /// required for [`BatchStrategy::CommunityAware`], ignored otherwise.
+    pub fn new(
+        adjacency: &'a CsrMatrix,
+        strategy: BatchStrategy,
+        communities: Option<&[usize]>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            adjacency.rows(),
+            adjacency.cols(),
+            "batch sampler: adjacency must be square"
+        );
+        let groups = if let BatchStrategy::CommunityAware {
+            communities_per_batch,
+            ..
+        } = strategy
+        {
+            assert!(
+                communities_per_batch >= 1,
+                "batch sampler: communities_per_batch must be at least 1"
+            );
+            let labels =
+                communities.expect("batch sampler: CommunityAware requires community assignments");
+            assert_eq!(
+                labels.len(),
+                adjacency.rows(),
+                "batch sampler: one community per node required"
+            );
+            let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+            let mut groups = vec![Vec::new(); k];
+            for (i, &c) in labels.iter().enumerate() {
+                groups[c].push(i as u32);
+            }
+            groups.retain(|g| !g.is_empty());
+            groups
+        } else {
+            Vec::new()
+        };
+        if let BatchStrategy::NeighborSampling {
+            seeds_per_batch,
+            fanout,
+            hops,
+        } = strategy
+        {
+            assert!(
+                seeds_per_batch >= 1,
+                "batch sampler: seeds_per_batch must be at least 1"
+            );
+            assert!(
+                hops == 0 || fanout >= 1,
+                "batch sampler: fanout must be at least 1 when hops > 0"
+            );
+        }
+        Self {
+            adjacency,
+            strategy,
+            seed,
+            groups,
+        }
+    }
+
+    /// The batch plan for `epoch`: each batch is a sorted, deduplicated node
+    /// list. Serial seeded-RNG walk — identical for any thread count.
+    pub fn epoch_plan(&self, epoch: usize) -> Vec<Vec<usize>> {
+        let n = self.adjacency.rows();
+        let mut rng = seeded_rng(derive_seed(
+            derive_seed(self.seed, BATCH_STREAM),
+            epoch as u64,
+        ));
+        match self.strategy {
+            BatchStrategy::FullGraph => vec![(0..n).collect()],
+            BatchStrategy::CommunityAware {
+                communities_per_batch,
+                hops,
+                max_batch_nodes,
+            } => {
+                let mut order: Vec<usize> = (0..self.groups.len()).collect();
+                shuffle(&mut order, &mut rng);
+                let mut visited = vec![false; n];
+                let cap = if max_batch_nodes == 0 {
+                    usize::MAX
+                } else {
+                    max_batch_nodes
+                };
+                order
+                    .chunks(communities_per_batch)
+                    .map(|group_ids| {
+                        let mut batch: Vec<usize> = Vec::new();
+                        for &g in group_ids {
+                            for &m in &self.groups[g] {
+                                if batch.len() >= cap {
+                                    break;
+                                }
+                                if !visited[m as usize] {
+                                    visited[m as usize] = true;
+                                    batch.push(m as usize);
+                                }
+                            }
+                        }
+                        self.expand_hops(&mut batch, &mut visited, hops, cap, None);
+                        for &v in &batch {
+                            visited[v] = false;
+                        }
+                        batch.sort_unstable();
+                        batch
+                    })
+                    .filter(|b| !b.is_empty())
+                    .collect()
+            }
+            BatchStrategy::NeighborSampling {
+                seeds_per_batch,
+                fanout,
+                hops,
+            } => {
+                let mut order: Vec<usize> = (0..n).collect();
+                shuffle(&mut order, &mut rng);
+                let mut visited = vec![false; n];
+                order
+                    .chunks(seeds_per_batch)
+                    .map(|seeds| {
+                        let mut batch: Vec<usize> = Vec::new();
+                        for &s in seeds {
+                            if !visited[s] {
+                                visited[s] = true;
+                                batch.push(s);
+                            }
+                        }
+                        self.expand_hops(
+                            &mut batch,
+                            &mut visited,
+                            hops,
+                            usize::MAX,
+                            Some((fanout, &mut rng)),
+                        );
+                        for &v in &batch {
+                            visited[v] = false;
+                        }
+                        batch.sort_unstable();
+                        batch
+                    })
+                    .filter(|b| !b.is_empty())
+                    .collect()
+            }
+        }
+    }
+
+    /// Expands `batch` by `hops` BFS rounds over the adjacency, marking
+    /// `visited`. With `sample = Some((fanout, rng))` each frontier node
+    /// contributes at most `fanout` uniformly-sampled neighbors
+    /// (GraphSAGE); with `None` the full neighborhood is taken, bounded by
+    /// `cap` total nodes.
+    fn expand_hops(
+        &self,
+        batch: &mut Vec<usize>,
+        visited: &mut [bool],
+        hops: usize,
+        cap: usize,
+        mut sample: Option<(usize, &mut rand::rngs::StdRng)>,
+    ) {
+        let indptr = self.adjacency.indptr();
+        let indices = self.adjacency.indices();
+        let mut frontier_start = 0usize;
+        for _ in 0..hops {
+            let frontier_end = batch.len();
+            if frontier_start == frontier_end || batch.len() >= cap {
+                break;
+            }
+            for fi in frontier_start..frontier_end {
+                let node = batch[fi];
+                let (s, e) = (indptr[node], indptr[node + 1]);
+                let deg = e - s;
+                let mut push = |pos: usize, batch: &mut Vec<usize>| {
+                    let nb = indices[pos] as usize;
+                    if !visited[nb] && batch.len() < cap {
+                        visited[nb] = true;
+                        batch.push(nb);
+                    }
+                };
+                match sample {
+                    Some((fanout, ref mut rng)) if deg > fanout => {
+                        // Distinct neighbor positions, uniform without
+                        // replacement; the RNG walk stays serial.
+                        for off in sample_distinct(deg, fanout, rng) {
+                            push(s + off, batch);
+                        }
+                    }
+                    _ => {
+                        for pos in s..e {
+                            push(pos, batch);
+                        }
+                    }
+                }
+                if batch.len() >= cap {
+                    break;
+                }
+            }
+            frontier_start = frontier_end;
+        }
+    }
+}
+
+/// One batch of model-specific work for [`Trainer::run_batched`] — the
+/// batched counterpart of [`crate::train::TrainStep`].
+pub trait BatchTrainStep {
+    /// Builds this batch's loss on a fresh tape. `nodes` is the sorted node
+    /// set of batch `batch_index` (of `batch_count`) in epoch `epoch`.
+    /// The returned monitor values are averaged over the epoch's batches
+    /// for the stop rule.
+    fn step(
+        &mut self,
+        tape: &mut Tape,
+        params: &[Var],
+        epoch: usize,
+        batch_index: usize,
+        batch_count: usize,
+        nodes: &[usize],
+    ) -> StepOutput;
+
+    /// Fires when the epoch-level monitored metric improves (and every
+    /// epoch under [`StopRule::FixedEpochs`]), before the epoch's final
+    /// optimizer step — mirroring [`crate::train::TrainStep::on_best`].
+    fn on_best(&mut self, _epoch: usize, _params: &ParamSet) {}
+
+    /// Fires at the end of every epoch with batch-averaged statistics.
+    fn on_epoch(&mut self, _stats: &EpochStats) {}
+}
+
+impl Trainer {
+    /// Mini-batch variant of [`Trainer::run`]: per epoch, `plan(epoch)`
+    /// yields the batch node sets; every batch gets a fresh tape, its own
+    /// loss, backward and optimizer step. Epoch-level loss/monitor are the
+    /// means over the epoch's batches; best tracking fires between the last
+    /// batch's forward and its optimizer step, so a one-batch-per-epoch
+    /// plan covering all nodes reproduces [`Trainer::run`] bit-exactly.
+    pub fn run_batched(
+        &self,
+        params: &mut ParamSet,
+        opt: &mut dyn Optimizer,
+        plan: &mut dyn FnMut(usize) -> Vec<Vec<usize>>,
+        step: &mut dyn BatchTrainStep,
+    ) -> Result<TrainRun, TrainError> {
+        let _run_span = self.obs_prefix.as_deref().map(aneci_obs::span);
+        let obs = self.obs_prefix.as_deref().map(|p| {
+            (
+                aneci_obs::histogram(&format!("{p}.loss")),
+                aneci_obs::histogram(&format!("{p}.grad_norm")),
+                aneci_obs::counter(&format!("{p}.epochs")),
+            )
+        });
+        let batch_nodes_h = aneci_obs::histogram("train.batch.nodes");
+        let sample_ns_h = aneci_obs::histogram_time_ns("train.batch.sample_ns");
+        let step_ns_h = aneci_obs::histogram_time_ns("train.batch.step_ns");
+
+        let base_lr = opt.lr();
+        let mut run = TrainRun::default();
+        let mut best = match self.stop {
+            StopRule::BestMonitor {
+                objective: Objective::Maximize,
+                ..
+            } => f64::NEG_INFINITY,
+            _ => f64::INFINITY,
+        };
+        let mut stall = 0usize;
+        let mut last_good: Option<ParamSet> = None;
+
+        for epoch in 0..self.epochs {
+            if let LrSchedule::StepDecay { every, factor } = self.lr_schedule {
+                let k = (epoch / every.max(1)) as i32;
+                opt.set_lr(base_lr * factor.powi(k));
+            }
+
+            let sample_start = Instant::now();
+            let batches = plan(epoch);
+            sample_ns_h.observe(sample_start.elapsed().as_nanos() as f64);
+            let batch_count = batches.iter().filter(|b| !b.is_empty()).count();
+            assert!(batch_count > 0, "batch plan for epoch {epoch} is empty");
+
+            let mut loss_sum = 0.0f64;
+            let mut gnorm_sum = 0.0f64;
+            let mut monitor_sum = 0.0f64;
+            let mut monitored = 0usize;
+            let mut epoch_monitor = None;
+            let mut improved = false;
+            let mut seen = 0usize;
+
+            for (bi, nodes) in batches.iter().filter(|b| !b.is_empty()).enumerate() {
+                let step_start = Instant::now();
+                batch_nodes_h.observe(nodes.len() as f64);
+
+                let mut tape = Tape::new();
+                let vars = params.leaf_all(&mut tape);
+                let out = step.step(&mut tape, &vars, epoch, bi, batch_count, nodes);
+                let loss_val = tape.scalar(out.loss);
+
+                if self.guard_divergence && !loss_val.is_finite() {
+                    if let Some(good) = last_good.take() {
+                        *params = good;
+                    }
+                    return Err(TrainError::Diverged {
+                        epoch,
+                        loss: loss_val,
+                    });
+                }
+
+                loss_sum += loss_val;
+                if let Some(m) = out.monitor {
+                    monitor_sum += m;
+                    monitored += 1;
+                }
+                seen += 1;
+
+                // Epoch-level best tracking between the last batch's forward
+                // and its optimizer step (run()'s ordering for one batch):
+                // on_best must see the parameters that produced the metric.
+                if seen == batch_count {
+                    epoch_monitor = (monitored > 0).then(|| monitor_sum / monitored as f64);
+                    improved = match self.stop {
+                        StopRule::FixedEpochs => {
+                            run.best_epoch = epoch;
+                            step.on_best(epoch, params);
+                            true
+                        }
+                        StopRule::BestMonitor {
+                            objective,
+                            min_delta,
+                            ..
+                        } => match epoch_monitor {
+                            Some(m) => {
+                                run.monitors.push((epoch, m));
+                                let better = match objective {
+                                    Objective::Maximize => m > best + min_delta,
+                                    Objective::Minimize => m < best - min_delta,
+                                };
+                                if better {
+                                    best = m;
+                                    run.best_epoch = epoch;
+                                    run.best_monitor = Some(m);
+                                    stall = 0;
+                                    step.on_best(epoch, params);
+                                } else {
+                                    stall += 1;
+                                }
+                                better
+                            }
+                            None => false,
+                        },
+                    };
+                }
+
+                let _step_span = self.obs_prefix.is_some().then(|| aneci_obs::span("step"));
+                tape.backward(out.loss);
+                let mut grads = params.grads(&tape, &vars);
+                drop(tape);
+                let norm = ParamSet::grad_norm(&grads);
+                if self.guard_divergence && !norm.is_finite() {
+                    return Err(TrainError::Diverged {
+                        epoch,
+                        loss: loss_val,
+                    });
+                }
+                if let Some(max_norm) = self.clip_norm {
+                    ParamSet::clip_grad_norm(&mut grads, max_norm);
+                }
+                if self.guard_divergence {
+                    last_good = Some(params.clone());
+                }
+                opt.step(params, &grads);
+                gnorm_sum += norm;
+                step_ns_h.observe(step_start.elapsed().as_nanos() as f64);
+            }
+
+            let epoch_loss = loss_sum / batch_count as f64;
+            let epoch_gnorm = gnorm_sum / batch_count as f64;
+            if let Some((loss_h, gnorm_h, epochs_c)) = &obs {
+                loss_h.observe(epoch_loss);
+                gnorm_h.observe(epoch_gnorm);
+                epochs_c.inc();
+            }
+            run.losses.push(epoch_loss);
+            run.epochs_run = epoch + 1;
+
+            step.on_epoch(&EpochStats {
+                epoch,
+                loss: epoch_loss,
+                monitor: epoch_monitor,
+                grad_norm: epoch_gnorm,
+                lr: opt.lr(),
+                improved,
+            });
+
+            if let StopRule::BestMonitor { patience, .. } = self.stop {
+                if patience > 0 && stall >= patience {
+                    run.stopped_early = true;
+                    break;
+                }
+            }
+        }
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use aneci_linalg::DenseMatrix;
+
+    fn ring(n: usize) -> CsrMatrix {
+        let mut trips = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            trips.push((i, j, 1.0));
+            trips.push((j, i, 1.0));
+        }
+        CsrMatrix::from_triplets(n, n, &trips)
+    }
+
+    #[test]
+    fn community_plan_covers_all_members_and_is_seed_stable() {
+        let a = ring(12);
+        let labels: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        let strat = BatchStrategy::CommunityAware {
+            communities_per_batch: 1,
+            hops: 0,
+            max_batch_nodes: 0,
+        };
+        let s = BatchSampler::new(&a, strat, Some(&labels), 9);
+        let plan = s.epoch_plan(0);
+        assert_eq!(plan.len(), 3);
+        let mut all: Vec<usize> = plan.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+        // Same seed+epoch → same plan; different epoch → (generally) not.
+        assert_eq!(
+            plan,
+            BatchSampler::new(&a, strat, Some(&labels), 9).epoch_plan(0)
+        );
+    }
+
+    #[test]
+    fn hop_expansion_adds_ring_neighbors() {
+        let a = ring(10);
+        let labels: Vec<usize> = (0..10).map(|i| usize::from(i >= 5)).collect();
+        let strat = BatchStrategy::CommunityAware {
+            communities_per_batch: 1,
+            hops: 1,
+            max_batch_nodes: 0,
+        };
+        let s = BatchSampler::new(&a, strat, Some(&labels), 1);
+        for batch in s.epoch_plan(3) {
+            // One hop around a contiguous arc adds the two boundary nodes.
+            assert_eq!(batch.len(), 7, "batch {batch:?}");
+            assert!(batch.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        }
+    }
+
+    #[test]
+    fn neighbor_sampling_bounds_fanout() {
+        let a = ring(20);
+        let strat = BatchStrategy::NeighborSampling {
+            seeds_per_batch: 4,
+            fanout: 1,
+            hops: 1,
+        };
+        let s = BatchSampler::new(&a, strat, None, 5);
+        let plan = s.epoch_plan(0);
+        assert_eq!(plan.len(), 5);
+        for batch in &plan {
+            // 4 seeds, each adding at most one neighbor.
+            assert!(batch.len() <= 8, "batch {batch:?}");
+            assert!(batch.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Seeds partition the nodes even though expansions overlap.
+        let total: usize = plan.iter().map(|b| b.len()).sum();
+        assert!(total >= 20);
+    }
+
+    #[test]
+    fn full_graph_single_batch_matches_run_bit_exactly() {
+        // Quadratic bowl, identical init: run() vs run_batched(FullGraph).
+        let target = DenseMatrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+        let build = || {
+            let mut p = ParamSet::new();
+            p.register("x", DenseMatrix::zeros(2, 2));
+            p
+        };
+
+        let mut p1 = build();
+        let mut o1 = Adam::new(0.05);
+        let t1 = target.clone();
+        let mut s1 = move |tape: &mut Tape, w: &[Var], _e: usize| -> Var {
+            let c = tape.constant(t1.clone());
+            let d = tape.sub(w[0], c);
+            tape.frob_sq(d)
+        };
+        let r1 = Trainer::new(40).run(&mut p1, &mut o1, &mut s1).unwrap();
+
+        struct Bowl(DenseMatrix);
+        impl BatchTrainStep for Bowl {
+            fn step(
+                &mut self,
+                tape: &mut Tape,
+                w: &[Var],
+                _epoch: usize,
+                _bi: usize,
+                _bc: usize,
+                nodes: &[usize],
+            ) -> StepOutput {
+                assert_eq!(nodes.len(), 2, "plan hands the full node set");
+                let c = tape.constant(self.0.clone());
+                let d = tape.sub(w[0], c);
+                StepOutput::new(tape.frob_sq(d))
+            }
+        }
+        let mut p2 = build();
+        let mut o2 = Adam::new(0.05);
+        let a = ring(2);
+        let sampler = BatchSampler::new(&a, BatchStrategy::FullGraph, None, 0);
+        let r2 = Trainer::new(40)
+            .run_batched(
+                &mut p2,
+                &mut o2,
+                &mut |e| sampler.epoch_plan(e),
+                &mut Bowl(target),
+            )
+            .unwrap();
+
+        assert_eq!(r1.losses, r2.losses);
+        assert_eq!(p1.get(0), p2.get(0));
+        assert_eq!(r1.best_epoch, r2.best_epoch);
+    }
+}

@@ -23,12 +23,19 @@
 //!   pre-refactor reference loop (`AneciModel::train_reference`) — per-epoch
 //!   wall time of each plus a bit-exact trajectory parity check — and
 //!   writes `BENCH_train.json`.
+//! * `--scale [max_nodes]` is the million-node scaling benchmark: streams a
+//!   planted-partition graph at N ∈ {10k, 100k, 1M} (capped at `max_nodes`,
+//!   default 1M), trains AnECI through the community-aware mini-batch path,
+//!   and writes `BENCH_scale.json` (nodes/sec, peak RSS, generation time
+//!   per tier). The 10k tier additionally A/Bs mini-batch against the
+//!   full-batch path and gates on NMI/modularity within 0.02 and
+//!   nodes/sec ratio ≥ 1.0 (non-zero exit on failure, like `--kernels`).
 //!
 //! Run with `cargo run --release -p aneci-bench --bin bench_report
-//! [-- --kernels | -- --serve | -- --http | -- --obs | -- --train]`. `ANECI_NUM_THREADS`
-//! caps the pooled measurements as usual; `ANECI_NO_SIMD=1` forces the
-//! scalar fallback (the `simd_vs_scalar` section then reports
-//! `active: false` and is excluded from the gate).
+//! [-- --kernels | -- --serve | -- --http | -- --obs | -- --train | -- --scale [N]]`.
+//! `ANECI_NUM_THREADS` caps the pooled measurements as usual;
+//! `ANECI_NO_SIMD=1` forces the scalar fallback (the `simd_vs_scalar`
+//! section then reports `active: false` and is excluded from the gate).
 
 use aneci_linalg::rng::{gaussian_matrix, seeded_rng};
 use aneci_linalg::{par, pool, simd, vector, CsrMatrix, DenseMatrix};
@@ -105,6 +112,12 @@ fn main() {
         obs_bench();
     } else if args.iter().any(|a| a == "--train") {
         train_bench();
+    } else if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        let max_nodes = args
+            .get(pos + 1)
+            .and_then(|a| a.parse::<usize>().ok())
+            .unwrap_or(1_000_000);
+        scale_bench(max_nodes);
     } else {
         // Default, also reachable explicitly as `--kernels` (the regression
         // gate invocation used by the verify checklist).
@@ -831,6 +844,7 @@ fn train_bench() {
         "trainer_per_epoch_us": new_ns as f64 / 1e3 / epochs.max(1) as f64,
         "overhead_pct": overhead_pct,
         "bit_exact_parity": parity,
+        "peak_rss_mb": peak_rss_mb(),
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
     std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
@@ -847,6 +861,195 @@ fn train_bench() {
         parity,
         "Trainer diverged from the reference loop — the refactor's bit-exactness guarantee broke"
     );
+}
+
+/// Sum of the `train.batch.nodes` histogram — total nodes processed by the
+/// mini-batch engine since process start (deltas around a run give its
+/// throughput numerator).
+fn batch_nodes_sum() -> f64 {
+    aneci_obs::global()
+        .snapshot()
+        .histogram("train.batch.nodes")
+        .map_or(0.0, |h| h.sum)
+}
+
+/// Process peak RSS in MB (None off-Linux).
+fn peak_rss_mb() -> Option<f64> {
+    aneci_obs::peak_rss_bytes().map(|b| b as f64 / 1e6)
+}
+
+/// Million-node scaling benchmark: stream a planted-partition graph at each
+/// tier, train AnECI through the community-aware mini-batch path, and
+/// report nodes/sec + peak RSS. The 10k tier also A/Bs against full-batch
+/// training and gates on quality (NMI/modularity within 0.02) and
+/// throughput (mini-batch ≥ 1.0x full-batch nodes/sec).
+fn scale_bench(max_nodes: usize) {
+    use aneci_core::{
+        classic_modularity, AneciConfig, AneciModel, BatchStrategy, MiniBatchTrainer, ReconMode,
+        StopStrategy,
+    };
+    use aneci_eval::metrics::nmi;
+    use aneci_graph::{generate_streamed, ProximityConfig, StreamingConfig};
+
+    pool::force_pool();
+    let threads = pool::num_threads();
+    let sizes: Vec<usize> = [10_000usize, 100_000, 1_000_000]
+        .into_iter()
+        .filter(|&n| n <= max_nodes)
+        .collect();
+    assert!(
+        !sizes.is_empty(),
+        "--scale cap {max_nodes} excludes every tier (smallest is 10000)"
+    );
+
+    let mut tiers: Vec<serde_json::Value> = Vec::new();
+    let mut fullbatch_10k: Option<serde_json::Value> = None;
+    let mut gate_failures: Vec<String> = Vec::new();
+
+    for &n in &sizes {
+        let scfg = StreamingConfig::scale(n);
+        let k = scfg.num_communities;
+        let t = Instant::now();
+        let streamed = generate_streamed(&scfg, 42, 100_000);
+        let gen_secs = t.elapsed().as_secs_f64();
+        let edges = streamed.num_edges();
+
+        // Tier knobs: the 10k tier keeps `embed = k` so argmax membership
+        // is a community detector (the NMI gate needs that); the big tiers
+        // measure throughput at a fixed width. Batches target a few
+        // thousand to ~20k nodes before hop expansion.
+        let epochs = if n <= 10_000 { 12 } else { 3 };
+        let embed_dim = if n <= 10_000 { k } else { 32 };
+        let target_batch = (n / 3).clamp(2_000, 20_000);
+        let communities_per_batch = (k * target_batch).div_ceil(n).max(1);
+        let config = AneciConfig {
+            hidden_dim: 32,
+            embed_dim,
+            epochs,
+            stop: StopStrategy::FixedEpochs,
+            recon: ReconMode::Sampled { neg_ratio: 1 },
+            proximity: ProximityConfig::uniform(2),
+            seed: 42,
+            ..AneciConfig::default()
+        };
+        let strategy = BatchStrategy::CommunityAware {
+            communities_per_batch,
+            hops: 1,
+            max_batch_nodes: 0,
+        };
+
+        let mut trainer = MiniBatchTrainer::try_new(
+            streamed.adjacency.clone(),
+            streamed.features.clone(),
+            &config,
+        )
+        .expect("scale config is valid");
+        let nodes_before = batch_nodes_sum();
+        let t = Instant::now();
+        let report = trainer
+            .train(strategy, Some(&streamed.labels))
+            .expect("mini-batch training failed");
+        let train_secs = t.elapsed().as_secs_f64();
+        let nodes_processed = batch_nodes_sum() - nodes_before;
+        let mini_nps = nodes_processed / train_secs.max(1e-12);
+        let peak_mb = peak_rss_mb();
+
+        println!(
+            "tier {n}: {k} communities, {edges} edges (gen {gen_secs:.1}s) — \
+             {epochs} epochs in {train_secs:.1}s, {mini_nps:.0} nodes/s, \
+             peak RSS {}",
+            peak_mb.map_or("n/a".into(), |m| format!("{m:.0} MB")),
+        );
+
+        tiers.push(serde_json::json!({
+            "nodes": n,
+            "communities": k,
+            "edges": edges,
+            "generation_secs": gen_secs,
+            "epochs": report.epochs_run,
+            "communities_per_batch": communities_per_batch,
+            "train_secs": train_secs,
+            "nodes_processed": nodes_processed,
+            "nodes_per_sec": mini_nps,
+            "final_loss": report.losses.last().copied(),
+            "peak_rss_mb": peak_mb,
+        }));
+
+        // Full-batch A/B + quality/throughput gates at the 10k tier: the
+        // same graph through `AneciModel::train`, compared on NMI against
+        // the planted labels, hard-partition modularity, and nodes/sec.
+        if n == 10_000 {
+            let graph = streamed.to_attributed();
+            let mut full = AneciModel::new(&graph, &config);
+            let t = Instant::now();
+            let full_report = full.train(None).expect("full-batch training failed");
+            let full_secs = t.elapsed().as_secs_f64();
+            let full_nps = (n * full_report.epochs_run) as f64 / full_secs.max(1e-12);
+
+            let full_pred = full.communities();
+            let mini_pred = trainer.communities();
+            let full_nmi = nmi(&full_pred, &streamed.labels);
+            let mini_nmi = nmi(&mini_pred, &streamed.labels);
+            let full_q = classic_modularity(&streamed.adjacency, &full_pred);
+            let mini_q = classic_modularity(&streamed.adjacency, &mini_pred);
+            let nps_ratio = mini_nps / full_nps.max(1e-12);
+
+            println!(
+                "  full-batch A/B: NMI {full_nmi:.3} vs {mini_nmi:.3} (mini), \
+                 Q {full_q:.3} vs {mini_q:.3}, \
+                 {full_nps:.0} vs {mini_nps:.0} nodes/s ({nps_ratio:.2}x)"
+            );
+
+            if mini_nmi < full_nmi - 0.02 {
+                gate_failures.push(format!(
+                    "10k NMI: mini-batch {mini_nmi:.4} < full-batch {full_nmi:.4} - 0.02"
+                ));
+            }
+            if mini_q < full_q - 0.02 {
+                gate_failures.push(format!(
+                    "10k modularity: mini-batch {mini_q:.4} < full-batch {full_q:.4} - 0.02"
+                ));
+            }
+            if nps_ratio < 1.0 {
+                gate_failures.push(format!(
+                    "10k throughput: mini-batch {mini_nps:.0} nodes/s is {nps_ratio:.3}x \
+                     full-batch {full_nps:.0} nodes/s (< 1.0x)"
+                ));
+            }
+
+            fullbatch_10k = Some(serde_json::json!({
+                "full_secs": full_secs,
+                "full_nodes_per_sec": full_nps,
+                "mini_nodes_per_sec": mini_nps,
+                "nodes_per_sec_ratio": nps_ratio,
+                "full_nmi": full_nmi,
+                "mini_nmi": mini_nmi,
+                "full_modularity": full_q,
+                "mini_modularity": mini_q,
+                "peak_rss_mb": peak_rss_mb(),
+            }));
+        }
+    }
+
+    let report = serde_json::json!({
+        "threads": threads,
+        "max_nodes": max_nodes,
+        "tiers": tiers,
+        "fullbatch_10k": fullbatch_10k,
+        "gate_failures": gate_failures,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .expect("failed to write BENCH_scale.json");
+    println!("wrote {path} ({threads} threads, cap {max_nodes} nodes)");
+
+    if !gate_failures.is_empty() {
+        eprintln!("FAIL: scale gates failed:");
+        for g in &gate_failures {
+            eprintln!("  {g}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Telemetry benchmark: A/B the always-on `aneci-obs` layer on the quickstart

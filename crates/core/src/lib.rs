@@ -10,6 +10,10 @@
 //!   (Eq. 13–14), high-order reconstruction decoder (Eq. 15–17), joint
 //!   objective (Eq. 18), training with the paper's three stopping
 //!   strategies;
+//! * [`minibatch`] — million-node scale: community-aware / neighbor-sampled
+//!   mini-batch training of the same objective on induced subgraphs
+//!   ([`AneciModel::train_minibatch`](model::AneciModel::train_minibatch)),
+//!   bit-exact with full-batch training under the `FullGraph` strategy;
 //! * [`anomaly`] — membership-entropy node anomaly scores, edge anomaly
 //!   scores, the defense score `DS(δ)` of Sec. VI-B1;
 //! * [`denoise`] — **AnECI+**, the two-stage denoising variant
@@ -34,6 +38,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod denoise;
 pub mod error;
+pub mod minibatch;
 pub mod model;
 pub mod modularity_defs;
 
@@ -45,6 +50,7 @@ pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{AneciConfig, AneciConfigBuilder, ReconMode, StopStrategy};
 pub use denoise::{aneci_plus, DenoiseConfig, DenoiseResult};
 pub use error::AneciError;
+pub use minibatch::{BatchStrategy, MiniBatchTrainer};
 pub use model::{rigidity, train_aneci, AneciModel, TrainReport, ValProbe};
 pub use modularity_defs::{
     classic_modularity, eq_modularity, generalized_modularity, one_hot_membership, qstar_modularity,

@@ -54,17 +54,21 @@ pub struct TrainReport {
 
 /// A trained (or in-training) AnECI model bound to one graph.
 pub struct AneciModel {
-    config: AneciConfig,
+    pub(crate) config: AneciConfig,
     norm_adj: Arc<CsrMatrix>,
+    /// The raw (unnormalized, hollow) adjacency, retained for the
+    /// mini-batch path: batch samplers walk it and per-batch operators are
+    /// extracted from it (see [`crate::minibatch`]).
+    pub(crate) adjacency: Arc<CsrMatrix>,
     a_tilde: Arc<CsrMatrix>,
     k_tilde: DenseMatrix,
     m_tilde: f64,
-    features: DenseMatrix,
-    params: ParamSet,
+    pub(crate) features: DenseMatrix,
+    pub(crate) params: ParamSet,
     dense_target: Option<Arc<DenseMatrix>>,
     positives: Arc<[BcePair]>,
-    num_nodes: usize,
-    best_embedding: Option<DenseMatrix>,
+    pub(crate) num_nodes: usize,
+    pub(crate) best_embedding: Option<DenseMatrix>,
 }
 
 impl AneciModel {
@@ -113,6 +117,7 @@ impl AneciModel {
         Ok(Self {
             config: config.clone(),
             norm_adj,
+            adjacency: Arc::new(graph.adjacency().clone()),
             a_tilde,
             k_tilde,
             m_tilde,

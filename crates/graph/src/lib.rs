@@ -12,6 +12,9 @@
 //! * [`karate`] — the embedded Zachary karate club (real data, tests and
 //!   examples);
 //! * [`lfr`] — LFR-style power-law community benchmark generator;
+//! * [`streaming`] — chunked planted-partition edge stream + direct CSR
+//!   assembly for million-node synthetics that never materialize their
+//!   edge list;
 //! * [`stats`] — components, clustering, degree-tail diagnostics;
 //! * [`io`] — JSON + edge-list persistence.
 
@@ -22,6 +25,7 @@ pub mod karate;
 pub mod lfr;
 pub mod proximity;
 pub mod stats;
+pub mod streaming;
 
 pub use attributed::{AttributedGraph, Split};
 pub use generators::{generate_sbm, sample_split, Benchmark, FeatureKind, SbmConfig};
@@ -29,6 +33,7 @@ pub use karate::karate_club;
 pub use lfr::{generate_lfr, LfrConfig};
 pub use proximity::{HighOrder, ProximityConfig};
 pub use stats::{connected_components, degree_histogram, graph_stats, transitivity, GraphStats};
+pub use streaming::{edge_chunks, generate_streamed, StreamedGraph, StreamingConfig};
 
 #[cfg(test)]
 mod proptests {

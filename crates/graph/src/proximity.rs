@@ -97,6 +97,16 @@ impl HighOrder {
     /// The base matrix is `A` (plus `I` when `config.self_loops`); power
     /// `A^l` is accumulated as `w_l · A^l` with optional per-power top-k
     /// pruning, then the sum is row-normalized when requested.
+    ///
+    /// **Memory bound.** The loop holds at most three CSR buffers — the
+    /// current power, the accumulator, and one scratch — whose row buffers
+    /// the underlying `spmm` pre-sizes from degree counts (Σ over a row's
+    /// entries of the expanded row's nnz). With top-k pruning every power
+    /// holds ≤ `N·k` entries, so the peak is
+    /// `O(nnz(A·A^{l-1}_pruned) + N·k·l)` ≈ `N·k·(deg_max + l)` entries;
+    /// without pruning the powers densify toward `N²` and the exact
+    /// `nnz(A^l)` bound applies — which is why batch training uses
+    /// [`HighOrder::build_rows`] instead of this constructor.
     pub fn build(adjacency: &CsrMatrix, config: &ProximityConfig) -> Self {
         assert_eq!(
             adjacency.rows(),
@@ -140,6 +150,68 @@ impl HighOrder {
         if config.row_normalize {
             a_tilde.row_normalize_inplace();
         }
+        let k_tilde = a_tilde.row_sums();
+        let m_tilde = k_tilde.iter().sum();
+        Self {
+            a_tilde,
+            k_tilde,
+            m_tilde,
+        }
+    }
+
+    /// Batch-incremental variant of [`HighOrder::build`]: computes the rows
+    /// of the full-graph `Ã` for `nodes` (sorted strictly increasing)
+    /// without materializing the N×N proximity, then restricts the columns
+    /// to the same node set — the batch-local triple
+    /// `(Ã[S,S], k̃_S, M̃_S)` the mini-batch modularity trains on.
+    ///
+    /// Row `r` of `A^l` is `(row r of A^{l-1}) · A`, so the power loop runs
+    /// on an `|S|×N` row slab instead of the full matrix: per-row Gustavson
+    /// expansion, top-k pruning, weighting and row normalization are all
+    /// row-local and execute in exactly the order [`HighOrder::build`] uses.
+    /// For `nodes = 0..N` the result is therefore bit-identical to the
+    /// global build (pinned by `tests/minibatch_parity.rs`). The restricted
+    /// `k̃`/`M̃` count only proximity mass retained inside the batch, which
+    /// is what the batch modularity normalizes by. Peak memory is
+    /// `O(|S| · min(N, reach_l))` entries — per-batch, never N×N.
+    pub fn build_rows(adjacency: &CsrMatrix, config: &ProximityConfig, nodes: &[usize]) -> Self {
+        assert_eq!(
+            adjacency.rows(),
+            adjacency.cols(),
+            "adjacency must be square"
+        );
+        assert!(
+            !config.weights.is_empty(),
+            "at least one proximity weight required"
+        );
+        let base = if config.self_loops {
+            adjacency.add_identity()
+        } else {
+            adjacency.clone()
+        };
+        let n = base.cols();
+        let mut power = base.gather_rows(nodes);
+        let mut acc = CsrMatrix::zeros(nodes.len(), n);
+        let mut scratch = CsrMatrix::zeros(nodes.len(), n);
+        for (l, &w) in config.weights.iter().enumerate() {
+            if l > 0 {
+                power.spmm_into(&base, &mut scratch);
+                std::mem::swap(&mut power, &mut scratch);
+                if let Some(k) = config.top_k {
+                    power.prune_top_k_into(k, &mut scratch);
+                    std::mem::swap(&mut power, &mut scratch);
+                }
+            }
+            if w != 0.0 {
+                acc.add_scaled_into(&power, w, &mut scratch);
+                std::mem::swap(&mut acc, &mut scratch);
+            }
+        }
+        let mut slab = acc;
+        if config.row_normalize {
+            slab.row_normalize_inplace();
+        }
+        let a_tilde = slab.select_columns(nodes);
         let k_tilde = a_tilde.row_sums();
         let m_tilde = k_tilde.iter().sum();
         Self {
@@ -283,6 +355,29 @@ mod tests {
         for r in 0..7 {
             let deg = a.row_nnz(r);
             assert!(pruned.a_tilde.row_nnz(r) <= deg + 3, "row {r}");
+        }
+    }
+
+    #[test]
+    fn build_rows_matches_restricted_global_build() {
+        let a = path4();
+        for cfg in [
+            ProximityConfig::uniform(2),
+            ProximityConfig::uniform(3).with_self_loops(false),
+            ProximityConfig::uniform(3).with_top_k(2),
+        ] {
+            let global = HighOrder::build(&a, &cfg);
+            // Full node set: bit-identical to the global build.
+            let all = HighOrder::build_rows(&a, &cfg, &[0, 1, 2, 3]);
+            assert_eq!(all.a_tilde, global.a_tilde);
+            assert_eq!(all.k_tilde, global.k_tilde);
+            assert_eq!(all.m_tilde, global.m_tilde);
+            // Subset: rows/columns of the global Ã, bit-exact.
+            let nodes = [0usize, 2, 3];
+            let batch = HighOrder::build_rows(&a, &cfg, &nodes);
+            let expect = global.a_tilde.gather_rows(&nodes).select_columns(&nodes);
+            assert_eq!(batch.a_tilde, expect);
+            assert_eq!(batch.k_tilde, expect.row_sums());
         }
     }
 

@@ -1,0 +1,535 @@
+//! Streaming planted-partition generator for million-node training runs.
+//!
+//! [`generate_sbm`](crate::generators::generate_sbm) materializes its whole
+//! edge set in a `BTreeSet` before CSR assembly, which caps it around 10⁵
+//! nodes. This module generates the same family of graphs — balanced planted
+//! communities, tunable homophily, optional LFR-style power-law degree
+//! correction, Gaussian class features — as a *stream* of edge chunks:
+//!
+//! * [`edge_chunks`] yields `Vec<(u32, u32)>` chunks; the full edge list is
+//!   never materialized, and the sequence for a fixed seed is identical for
+//!   every chunk size (the chunk boundary just slices a deterministic
+//!   state-machine walk) and independent of `ANECI_NUM_THREADS` (generation
+//!   is a serial per-phase RNG walk);
+//! * [`generate_streamed`] consumes the stream twice — degree-count pass,
+//!   then scatter pass — to build the CSR adjacency directly, so peak
+//!   transient memory is `O(nnz)` for the scatter buffer plus one chunk.
+//!
+//! ## Determinism model
+//!
+//! Edges are drawn phase by phase: one intra-community phase per community
+//! (each with its own RNG stream derived from `(seed, community)`), then one
+//! global inter-community phase. Phase boundaries depend only on the config,
+//! never on chunk size or thread count. Duplicate draws are *not* rejected
+//! at generation time (that would need a hash set per phase); they are
+//! deduplicated during CSR row assembly, which keeps the generator itself
+//! allocation-free beyond the chunk buffer.
+//!
+//! Node `i` belongs to community `i % num_communities`, so membership is
+//! O(1)-computable and the community-aware batch sampler never needs a
+//! stored label array at scale (labels are still materialized in
+//! [`StreamedGraph`] for evaluation).
+
+use aneci_linalg::rng::{derive_seed, seeded_rng, standard_normal, AliasTable};
+use aneci_linalg::{CsrMatrix, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::attributed::AttributedGraph;
+
+/// Configuration for the streaming planted-partition generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamingConfig {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of planted communities; node `i` belongs to `i % k`.
+    pub num_communities: usize,
+    /// Target mean degree (undirected edges ≈ `n · avg_degree / 2`).
+    pub avg_degree: f64,
+    /// Fraction of edges drawn inside communities (rest are cross-community).
+    pub homophily: f64,
+    /// LFR-style power-law degree-correction exponent; `None` = uniform
+    /// endpoint propensities. Propensities are hash-derived per node, so the
+    /// degree sequence is deterministic and phase-order independent.
+    pub degree_exponent: Option<f64>,
+    /// Gaussian feature dimension.
+    pub feature_dim: usize,
+    /// Distance of class centroids from the origin (block structure, as in
+    /// the in-memory SBM's `FeatureKind::Gaussian`).
+    pub feature_separation: f64,
+    /// Per-coordinate Gaussian noise std.
+    pub feature_noise: f64,
+}
+
+impl StreamingConfig {
+    /// Scale-bench preset: `k ≈ √n / 3` balanced communities (so community
+    /// subgraphs stay mini-batch sized), mean degree 8, strong homophily,
+    /// mild degree tail, 16-dim separable features.
+    pub fn scale(num_nodes: usize) -> Self {
+        let k = ((num_nodes as f64).sqrt() / 3.0).round().max(2.0) as usize;
+        Self {
+            num_nodes,
+            num_communities: k,
+            avg_degree: 8.0,
+            homophily: 0.9,
+            degree_exponent: Some(2.5),
+            feature_dim: 16,
+            feature_separation: 1.5,
+            feature_noise: 1.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.num_nodes >= 2, "streaming: need at least 2 nodes");
+        assert!(
+            self.num_communities >= 1 && self.num_communities <= self.num_nodes,
+            "streaming: communities must be in 1..=num_nodes"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.homophily),
+            "streaming: homophily must be in [0, 1]"
+        );
+        assert!(self.avg_degree >= 0.0, "streaming: negative avg_degree");
+        if let Some(alpha) = self.degree_exponent {
+            assert!(alpha > 1.0, "streaming: degree exponent must exceed 1");
+        }
+    }
+}
+
+/// A graph built from the edge stream: CSR adjacency (deduplicated,
+/// symmetric, hollow), Gaussian features, planted community labels.
+#[derive(Clone, Debug)]
+pub struct StreamedGraph {
+    /// Symmetric binary adjacency.
+    pub adjacency: CsrMatrix,
+    /// `n × feature_dim` Gaussian class features.
+    pub features: DenseMatrix,
+    /// Planted community of each node (`i % num_communities`).
+    pub labels: Vec<usize>,
+}
+
+impl StreamedGraph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.rows()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.nnz() / 2
+    }
+
+    /// Converts to a validated [`AttributedGraph`] — materializes the edge
+    /// list, so this is for small-N tests and full-batch A/B baselines, not
+    /// the million-node path.
+    pub fn to_attributed(&self) -> AttributedGraph {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for (u, v, _) in self.adjacency.iter() {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+        AttributedGraph::from_edges(
+            self.num_nodes(),
+            &edges,
+            self.features.clone(),
+            Some(self.labels.clone()),
+        )
+    }
+}
+
+/// Per-node endpoint propensity for the degree-corrected draw: a Pareto
+/// sample computed from a *hash* of the node id (not an RNG stream), so it
+/// is O(1), deterministic, and independent of generation order. Mirrors the
+/// in-memory SBM's `u^(-1/(α-1))` capped at 20.
+fn propensity(theta_seed: u64, node: usize, alpha: f64) -> f64 {
+    let bits = derive_seed(theta_seed, node as u64);
+    // 53-bit uniform in (0, 1).
+    let u = ((bits >> 11) as f64 + 0.5) / 9007199254740992.0;
+    u.powf(-1.0 / (alpha - 1.0)).min(20.0)
+}
+
+/// The phase walk: one intra phase per community, then one inter phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Phase {
+    Intra(usize),
+    Inter,
+    Done,
+}
+
+/// Chunked edge iterator — see the module docs for the determinism model.
+pub struct EdgeStream {
+    cfg: StreamingConfig,
+    seed: u64,
+    chunk_size: usize,
+    phase: Phase,
+    rng: StdRng,
+    /// Propensity alias table for the current phase (degree-corrected only).
+    alias: Option<AliasTable>,
+    emitted: usize,
+    attempts: usize,
+    quota: usize,
+    max_attempts: usize,
+}
+
+impl EdgeStream {
+    fn new(cfg: &StreamingConfig, seed: u64, chunk_size: usize) -> Self {
+        cfg.validate();
+        assert!(chunk_size > 0, "streaming: chunk size must be positive");
+        let mut stream = Self {
+            cfg: cfg.clone(),
+            seed,
+            chunk_size,
+            phase: Phase::Done,
+            rng: seeded_rng(seed),
+            alias: None,
+            emitted: 0,
+            attempts: 0,
+            quota: 0,
+            max_attempts: 0,
+        };
+        stream.enter_phase(Phase::Intra(0));
+        stream
+    }
+
+    /// Undirected target edge count.
+    fn target_edges(&self) -> usize {
+        (self.cfg.num_nodes as f64 * self.cfg.avg_degree / 2.0).round() as usize
+    }
+
+    fn intra_total(&self) -> usize {
+        (self.target_edges() as f64 * self.cfg.homophily).round() as usize
+    }
+
+    /// Members of community `c` are `c, c+k, c+2k, …`.
+    fn community_size(&self, c: usize) -> usize {
+        let (n, k) = (self.cfg.num_nodes, self.cfg.num_communities);
+        if c < n {
+            (n - c).div_ceil(k)
+        } else {
+            0
+        }
+    }
+
+    /// Sets up RNG stream, quota, and (if degree-corrected) the propensity
+    /// alias table for `phase`. Skips ahead over phases with nothing to do.
+    fn enter_phase(&mut self, mut phase: Phase) {
+        let k = self.cfg.num_communities;
+        let theta_seed = derive_seed(self.seed, 0x7E7A);
+        loop {
+            let (quota, members) = match phase {
+                Phase::Intra(c) if c < k => {
+                    let total = self.intra_total();
+                    let base = total / k + usize::from(c < total % k);
+                    (
+                        if self.community_size(c) >= 2 { base } else { 0 },
+                        self.community_size(c),
+                    )
+                }
+                Phase::Intra(_) => {
+                    phase = Phase::Inter;
+                    continue;
+                }
+                Phase::Inter => (
+                    if k >= 2 {
+                        self.target_edges() - self.intra_total()
+                    } else {
+                        0
+                    },
+                    self.cfg.num_nodes,
+                ),
+                Phase::Done => {
+                    self.phase = Phase::Done;
+                    return;
+                }
+            };
+            if quota == 0 {
+                phase = match phase {
+                    Phase::Intra(c) => Phase::Intra(c + 1),
+                    Phase::Inter => Phase::Done,
+                    Phase::Done => unreachable!(),
+                };
+                continue;
+            }
+            self.phase = phase;
+            self.quota = quota;
+            self.emitted = 0;
+            self.attempts = 0;
+            self.max_attempts = quota.saturating_mul(30) + 200;
+            self.rng = match phase {
+                Phase::Intra(c) => {
+                    seeded_rng(derive_seed(derive_seed(self.seed, 0xED6E), c as u64))
+                }
+                Phase::Inter => seeded_rng(derive_seed(self.seed, 0x167E4)),
+                Phase::Done => unreachable!(),
+            };
+            self.alias = self.cfg.degree_exponent.map(|alpha| {
+                let weights: Vec<f64> = match phase {
+                    Phase::Intra(c) => (0..members)
+                        .map(|j| propensity(theta_seed, c + j * k, alpha))
+                        .collect(),
+                    Phase::Inter => (0..members)
+                        .map(|i| propensity(theta_seed, i, alpha))
+                        .collect(),
+                    Phase::Done => unreachable!(),
+                };
+                AliasTable::new(&weights)
+            });
+            return;
+        }
+    }
+
+    /// Draws one endpoint index in `0..members` for the current phase.
+    fn draw_endpoint(&mut self, members: usize) -> usize {
+        match &self.alias {
+            Some(table) => table.sample(&mut self.rng),
+            None => self.rng.gen_range(0..members),
+        }
+    }
+
+    /// Next edge of the current phase, advancing phases as quotas fill.
+    fn next_edge(&mut self) -> Option<(u32, u32)> {
+        loop {
+            match self.phase {
+                Phase::Done => return None,
+                Phase::Intra(c) => {
+                    if self.emitted >= self.quota || self.attempts >= self.max_attempts {
+                        self.enter_phase(Phase::Intra(c + 1));
+                        continue;
+                    }
+                    self.attempts += 1;
+                    let k = self.cfg.num_communities;
+                    let members = self.community_size(c);
+                    let u = c + self.draw_endpoint(members) * k;
+                    let v = c + self.draw_endpoint(members) * k;
+                    if u == v {
+                        continue;
+                    }
+                    self.emitted += 1;
+                    return Some((u.min(v) as u32, u.max(v) as u32));
+                }
+                Phase::Inter => {
+                    if self.emitted >= self.quota || self.attempts >= self.max_attempts {
+                        self.enter_phase(Phase::Done);
+                        continue;
+                    }
+                    self.attempts += 1;
+                    let n = self.cfg.num_nodes;
+                    let u = self.draw_endpoint(n);
+                    let v = self.draw_endpoint(n);
+                    if u == v || u % self.cfg.num_communities == v % self.cfg.num_communities {
+                        continue;
+                    }
+                    self.emitted += 1;
+                    return Some((u.min(v) as u32, u.max(v) as u32));
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for EdgeStream {
+    type Item = Vec<(u32, u32)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut chunk = Vec::with_capacity(self.chunk_size);
+        while chunk.len() < self.chunk_size {
+            match self.next_edge() {
+                Some(e) => chunk.push(e),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    }
+}
+
+/// Chunked edge stream for `(cfg, seed)`. The concatenated sequence is
+/// identical for every `chunk_size` and thread count.
+pub fn edge_chunks(cfg: &StreamingConfig, seed: u64, chunk_size: usize) -> EdgeStream {
+    EdgeStream::new(cfg, seed, chunk_size)
+}
+
+/// Builds a [`StreamedGraph`] from two passes over the edge stream: a
+/// degree-counting pass, then a scatter pass into pre-sized CSR row ranges,
+/// followed by per-row sort + dedup. Peak transient memory is the scatter
+/// buffer (`O(2 · emitted edges)`) plus one chunk — the full edge list is
+/// never held, and no hash sets are used.
+pub fn generate_streamed(cfg: &StreamingConfig, seed: u64, chunk_size: usize) -> StreamedGraph {
+    cfg.validate();
+    let n = cfg.num_nodes;
+    let k = cfg.num_communities;
+
+    // Pass 1: directed degree counts (duplicates included — they vanish in
+    // the dedup below, leaving only a slight over-allocation).
+    let mut deg = vec![0usize; n];
+    for chunk in edge_chunks(cfg, seed, chunk_size) {
+        for &(u, v) in &chunk {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+    }
+    let mut indptr = Vec::with_capacity(n + 1);
+    indptr.push(0usize);
+    for &d in &deg {
+        indptr.push(indptr.last().unwrap() + d);
+    }
+    let total = *indptr.last().unwrap();
+
+    // Pass 2: regenerate the identical stream and scatter both directions
+    // into each row's range.
+    let mut cols = vec![0u32; total];
+    let mut cursor: Vec<usize> = indptr[..n].to_vec();
+    for chunk in edge_chunks(cfg, seed, chunk_size) {
+        for &(u, v) in &chunk {
+            let (u, v) = (u as usize, v as usize);
+            cols[cursor[u]] = v as u32;
+            cursor[u] += 1;
+            cols[cursor[v]] = u as u32;
+            cursor[v] += 1;
+        }
+    }
+
+    // Pass 3: per-row sort + dedup, compacting into the final CSR buffers.
+    // Serial on purpose: rows are tiny, the pass is one O(nnz log deg)
+    // sweep, and serial order is trivially thread-count invariant.
+    let mut indices: Vec<u32> = Vec::with_capacity(total);
+    let mut out_indptr = Vec::with_capacity(n + 1);
+    out_indptr.push(0usize);
+    for r in 0..n {
+        let row = &mut cols[indptr[r]..indptr[r + 1]];
+        row.sort_unstable();
+        let mut prev = u32::MAX;
+        for &c in row.iter() {
+            if c != prev {
+                indices.push(c);
+                prev = c;
+            }
+        }
+        out_indptr.push(indices.len());
+    }
+    drop(cols);
+    let values = vec![1.0f64; indices.len()];
+    let adjacency = CsrMatrix::from_raw(n, n, out_indptr, indices, values);
+
+    // Features: Gaussian class centroids on axis blocks (same layout as the
+    // in-memory SBM), one hash-derived RNG per row so parallel fills are
+    // bit-identical to serial. The block start wraps modulo `d` so that
+    // with more communities than dimensions every community still gets a
+    // centroid (aliased communities then differ only structurally).
+    let d = cfg.feature_dim;
+    let fseed = derive_seed(seed, 0xFEA7);
+    let block = (d / k.max(1)).max(1);
+    let (sep, noise) = (cfg.feature_separation, cfg.feature_noise);
+    let mut features = DenseMatrix::zeros(n, d);
+    features.par_rows_mut(4 * d, |i, row| {
+        let mut rng = seeded_rng(derive_seed(fseed, i as u64));
+        let c = i % k;
+        let lo = (c * block) % d;
+        let hi = (lo + block).min(d);
+        for (j, x) in row.iter_mut().enumerate() {
+            let centroid = if j >= lo && j < hi { sep } else { 0.0 };
+            *x = centroid + noise * standard_normal(&mut rng);
+        }
+    });
+
+    let labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+    StreamedGraph {
+        adjacency,
+        features,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> StreamingConfig {
+        StreamingConfig {
+            num_nodes: 200,
+            num_communities: 5,
+            avg_degree: 6.0,
+            homophily: 0.85,
+            degree_exponent: Some(2.5),
+            feature_dim: 8,
+            feature_separation: 1.5,
+            feature_noise: 1.0,
+        }
+    }
+
+    #[test]
+    fn edge_sequence_is_chunk_size_invariant() {
+        let cfg = small_cfg();
+        let a: Vec<(u32, u32)> = edge_chunks(&cfg, 7, 1).flatten().collect();
+        let b: Vec<(u32, u32)> = edge_chunks(&cfg, 7, 64).flatten().collect();
+        let c: Vec<(u32, u32)> = edge_chunks(&cfg, 7, 100_000).flatten().collect();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn streamed_graph_is_valid_and_deterministic() {
+        let cfg = small_cfg();
+        let g1 = generate_streamed(&cfg, 7, 64);
+        let g2 = generate_streamed(&cfg, 7, 777);
+        assert_eq!(g1.adjacency, g2.adjacency);
+        assert_eq!(g1.features, g2.features);
+        assert_eq!(g1.labels, g2.labels);
+        // Valid attributed graph (symmetric, binary, hollow).
+        let attr = g1.to_attributed();
+        assert!(attr.validate().is_ok());
+        // Roughly the requested density.
+        let target = cfg.num_nodes as f64 * cfg.avg_degree / 2.0;
+        let edges = g1.num_edges() as f64;
+        assert!(
+            edges > 0.5 * target && edges < 1.2 * target,
+            "edges {edges} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn homophily_is_respected() {
+        let cfg = small_cfg();
+        let g = generate_streamed(&cfg, 11, 128);
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for (u, v, _) in g.adjacency.iter() {
+            if u < v {
+                total += 1;
+                if g.labels[u] == g.labels[v] {
+                    intra += 1;
+                }
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        assert!(frac > 0.7, "intra fraction {frac}");
+    }
+
+    #[test]
+    fn degree_correction_skews_the_degree_tail() {
+        let mut uniform_cfg = small_cfg();
+        uniform_cfg.degree_exponent = None;
+        let skewed = generate_streamed(&small_cfg(), 3, 64);
+        let uniform = generate_streamed(&uniform_cfg, 3, 64);
+        let max_deg = |g: &StreamedGraph| {
+            (0..g.num_nodes())
+                .map(|r| g.adjacency.row_nnz(r))
+                .max()
+                .unwrap()
+        };
+        assert!(max_deg(&skewed) > max_deg(&uniform));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small_cfg();
+        let a: Vec<(u32, u32)> = edge_chunks(&cfg, 1, 1024).flatten().collect();
+        let b: Vec<(u32, u32)> = edge_chunks(&cfg, 2, 1024).flatten().collect();
+        assert_ne!(a, b);
+    }
+}

@@ -40,10 +40,13 @@ pub enum Kernel {
     SparseTranspose,
     /// Top-k row pruning.
     PruneTopK,
+    /// Induced-subgraph gather with node relabeling
+    /// (`CsrMatrix::extract_submatrix` / `select_columns` / `gather_rows`).
+    SubgraphExtract,
 }
 
 /// Number of [`Kernel`] variants (size of the counter table).
-const KERNEL_COUNT: usize = 6;
+const KERNEL_COUNT: usize = 7;
 
 impl Kernel {
     /// Stable display name used in metric names and bench reports.
@@ -55,6 +58,7 @@ impl Kernel {
             Kernel::Spmm => "spmm",
             Kernel::SparseTranspose => "sparse_transpose",
             Kernel::PruneTopK => "prune_top_k",
+            Kernel::SubgraphExtract => "subgraph_extract",
         }
     }
 
@@ -66,6 +70,7 @@ impl Kernel {
         Kernel::Spmm,
         Kernel::SparseTranspose,
         Kernel::PruneTopK,
+        Kernel::SubgraphExtract,
     ];
 }
 

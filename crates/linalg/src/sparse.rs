@@ -10,6 +10,12 @@ use crate::kernel_stats::{self, Kernel};
 use crate::pool::{self, SendPtr};
 use serde::{Deserialize, Serialize};
 
+/// Chunk-nnz floor below which `spmm_rows` skips its output pre-sizing
+/// pass. The estimate costs one degree lookup per stored entry — about a
+/// tenth of the multiply work on sparse rows — which only pays for itself
+/// once the output is big enough for doubling-growth reallocs to dominate.
+const SPMM_PRESIZE_MIN_NNZ: usize = 1 << 16;
+
 /// Per-row-range kernel output: per-row entry counts plus the concatenated
 /// indices/values for those rows. Chunks of these are stitched back together
 /// in row order, so pooled kernels produce output identical to serial.
@@ -463,8 +469,28 @@ impl CsrMatrix {
     /// constructor invariant.
     fn spmm_rows(&self, other: &CsrMatrix, lo: usize, hi: usize) -> RowChunk {
         let mut lens = Vec::with_capacity(hi - lo);
-        let mut indices: Vec<u32> = Vec::new();
-        let mut values: Vec<f64> = Vec::new();
+        // Pre-size the output from degree counts when the chunk is large:
+        // every stored entry of rows `lo..hi` expands at most one full row
+        // of `other` (and a row never exceeds `other.cols` distinct
+        // columns), which is what keeps the proximity power loop from
+        // paying doubling-growth reallocs on multi-million-entry products.
+        // The estimation pass is O(chunk nnz) — roughly one multiply-row's
+        // worth of work per entry — so small chunks skip it and let vector
+        // doubling do its (cheap at that size) thing.
+        let chunk_nnz = self.indptr[hi] - self.indptr[lo];
+        let est = if chunk_nnz >= SPMM_PRESIZE_MIN_NNZ {
+            let mut est = 0usize;
+            for r in lo..hi {
+                for pos in self.indptr[r]..self.indptr[r + 1] {
+                    est = est.saturating_add(other.row_nnz(self.indices[pos] as usize));
+                }
+            }
+            est.min((hi - lo).saturating_mul(other.cols))
+        } else {
+            0
+        };
+        let mut indices: Vec<u32> = Vec::with_capacity(est);
+        let mut values: Vec<f64> = Vec::with_capacity(est);
         // Dense accumulator with an O(1) "touched" marker array.
         let mut acc = vec![0.0f64; other.cols];
         let mut mark = vec![false; other.cols];
@@ -824,6 +850,159 @@ impl CsrMatrix {
             self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
         }
     }
+
+    /// Row gather: `out[i] = self[rows[i]]`, keeping all columns. `rows` may
+    /// repeat and need not be sorted — this is a straight per-row copy,
+    /// pooled over the selected rows.
+    pub fn gather_rows(&self, rows: &[usize]) -> CsrMatrix {
+        let est: usize = rows.iter().map(|&r| self.row_nnz(r)).sum();
+        kernel_stats::record(Kernel::SubgraphExtract, est as u64, || {
+            let copy = |lo: usize, hi: usize| -> RowChunk {
+                let mut lens = Vec::with_capacity(hi - lo);
+                let cap: usize = rows[lo..hi].iter().map(|&r| self.row_nnz(r)).sum();
+                let mut indices: Vec<u32> = Vec::with_capacity(cap);
+                let mut values: Vec<f64> = Vec::with_capacity(cap);
+                for &r in &rows[lo..hi] {
+                    let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+                    indices.extend_from_slice(&self.indices[s..e]);
+                    values.extend_from_slice(&self.values[s..e]);
+                    lens.push(e - s);
+                }
+                (lens, indices, values)
+            };
+            let chunks = if pool::should_parallelize(est) {
+                let grain = pool::row_grain(rows.len(), 64);
+                pool::parallel_map_chunks(rows.len(), grain, copy)
+            } else {
+                vec![copy(0, rows.len())]
+            };
+            let mut out = CsrMatrix::zeros(rows.len(), self.cols);
+            assemble_rows_into(rows.len(), self.cols, &chunks, &mut out);
+            out
+        })
+    }
+
+    /// Column restriction with relabeling: keeps every row but only the
+    /// columns in `keep` (sorted strictly increasing), renumbering column
+    /// `keep[j]` to `j`. Pooled over rows; per-row filtering makes the
+    /// output identical for any chunk decomposition.
+    pub fn select_columns(&self, keep: &[usize]) -> CsrMatrix {
+        let colmap = inverse_column_map(self.cols, keep);
+        kernel_stats::record(Kernel::SubgraphExtract, self.nnz() as u64, || {
+            let filter = |lo: usize, hi: usize| -> RowChunk {
+                self.filter_columns_rows(&colmap, lo, hi, |r| r)
+            };
+            let chunks = if pool::should_parallelize(self.nnz()) {
+                let grain = pool::row_grain(self.rows, 64);
+                pool::parallel_map_chunks(self.rows, grain, filter)
+            } else {
+                vec![filter(0, self.rows)]
+            };
+            let mut out = CsrMatrix::zeros(self.rows, keep.len());
+            assemble_rows_into(self.rows, keep.len(), &chunks, &mut out);
+            out
+        })
+    }
+
+    /// Induced-subgraph extraction with node relabeling:
+    /// `out[i][j] = self[nodes[i]][nodes[j]]` for `nodes` sorted strictly
+    /// increasing. This is the mini-batch subgraph kernel: a fused row
+    /// gather + column restriction, pooled over the selected rows with the
+    /// same per-row-chunk stitching the transpose/prune kernels use, with
+    /// chunk buffers pre-sized from the selected rows' degree counts.
+    pub fn extract_submatrix(&self, nodes: &[usize]) -> CsrMatrix {
+        assert_eq!(
+            self.rows, self.cols,
+            "extract_submatrix: matrix must be square"
+        );
+        let colmap = inverse_column_map(self.cols, nodes);
+        let est: usize = nodes.iter().map(|&r| self.row_nnz(r)).sum();
+        kernel_stats::record(Kernel::SubgraphExtract, est as u64, || {
+            let extract = |lo: usize, hi: usize| -> RowChunk {
+                self.filter_columns_rows(&colmap, lo, hi, |i| nodes[i])
+            };
+            let chunks = if pool::should_parallelize(est) {
+                let grain = pool::row_grain(nodes.len(), 64);
+                pool::parallel_map_chunks(nodes.len(), grain, extract)
+            } else {
+                vec![extract(0, nodes.len())]
+            };
+            let mut out = CsrMatrix::zeros(nodes.len(), nodes.len());
+            assemble_rows_into(nodes.len(), nodes.len(), &chunks, &mut out);
+            out
+        })
+    }
+
+    /// Retained straightforward extraction (per-entry binary search into the
+    /// node list, triplet assembly): the correctness oracle for the parity
+    /// tests and the serial baseline `bench_report` times the pooled kernel
+    /// against.
+    pub fn extract_submatrix_reference(&self, nodes: &[usize]) -> CsrMatrix {
+        assert_eq!(
+            self.rows, self.cols,
+            "extract_submatrix: matrix must be square"
+        );
+        let mut triplets = Vec::new();
+        for (i, &r) in nodes.iter().enumerate() {
+            for (c, v) in self.row_entries(r) {
+                if let Ok(j) = nodes.binary_search(&c) {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(nodes.len(), nodes.len(), &triplets)
+    }
+
+    /// Shared chunk body for the extraction kernels: copies the surviving
+    /// (remapped) entries of logical rows `lo..hi`, where `row_of` maps the
+    /// logical index to the source row.
+    fn filter_columns_rows(
+        &self,
+        colmap: &[u32],
+        lo: usize,
+        hi: usize,
+        row_of: impl Fn(usize) -> usize,
+    ) -> RowChunk {
+        let mut lens = Vec::with_capacity(hi - lo);
+        let cap: usize = (lo..hi).map(|i| self.row_nnz(row_of(i))).sum();
+        let mut indices: Vec<u32> = Vec::with_capacity(cap);
+        let mut values: Vec<f64> = Vec::with_capacity(cap);
+        for i in lo..hi {
+            let r = row_of(i);
+            let before = indices.len();
+            for pos in self.indptr[r]..self.indptr[r + 1] {
+                let nc = colmap[self.indices[pos] as usize];
+                if nc != u32::MAX {
+                    indices.push(nc);
+                    values.push(self.values[pos]);
+                }
+            }
+            lens.push(indices.len() - before);
+        }
+        (lens, indices, values)
+    }
+}
+
+/// Dense old→new column map for the extraction kernels: `map[keep[j]] = j`,
+/// `u32::MAX` everywhere else. Validates that `keep` is sorted strictly
+/// increasing and in bounds.
+fn inverse_column_map(cols: usize, keep: &[usize]) -> Vec<u32> {
+    assert!(
+        keep.len() < u32::MAX as usize,
+        "extract: too many selected nodes"
+    );
+    let mut map = vec![u32::MAX; cols];
+    let mut prev: Option<usize> = None;
+    for (new, &old) in keep.iter().enumerate() {
+        assert!(old < cols, "extract: node {old} out of bounds ({cols})");
+        assert!(
+            prev.is_none_or(|p| p < old),
+            "extract: nodes must be sorted strictly increasing"
+        );
+        map[old] = new as u32;
+        prev = Some(old);
+    }
+    map
 }
 
 /// Packed top-k sort key: `!|v|.to_bits()` in the high 64 bits, the column
@@ -897,6 +1076,45 @@ mod tests {
                 (2, 1, 5.0),
             ],
         )
+    }
+
+    #[test]
+    fn extract_submatrix_matches_reference_and_dense() {
+        let m = sample();
+        for nodes in [vec![0usize, 2], vec![1], vec![0, 1, 2], vec![]] {
+            let sub = m.extract_submatrix(&nodes);
+            assert_eq!(sub, m.extract_submatrix_reference(&nodes));
+            for (i, &r) in nodes.iter().enumerate() {
+                for (j, &c) in nodes.iter().enumerate() {
+                    assert_eq!(sub.get(i, j), m.get(r, c));
+                }
+            }
+        }
+        // Extracting every node is a bit-exact copy.
+        assert_eq!(m.extract_submatrix(&[0, 1, 2]), m);
+    }
+
+    #[test]
+    fn gather_and_select_columns_round_trip() {
+        let m = sample();
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.get(0, 1), 5.0);
+        assert_eq!(g.get(1, 2), 2.0);
+        assert_eq!(g.get(2, 0), 4.0);
+        let s = m.select_columns(&[0, 2]);
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.get(0, 1), 2.0);
+        assert_eq!(s.get(2, 0), 4.0);
+        assert_eq!(s.get(2, 1), 0.0);
+        // gather(all rows) then select(all cols) is the identity.
+        assert_eq!(m.gather_rows(&[0, 1, 2]).select_columns(&[0, 1, 2]), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted strictly increasing")]
+    fn extract_submatrix_rejects_unsorted_nodes() {
+        sample().extract_submatrix(&[2, 0]);
     }
 
     #[test]

@@ -55,10 +55,12 @@
 //! assert_eq!(snap.histogram("demo.value").unwrap().count, 1);
 //! ```
 
+pub mod proc;
 pub mod registry;
 pub mod sink;
 pub mod span;
 
+pub use proc::{current_rss_bytes, peak_rss_bytes};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use sink::{install_jsonl_sink, install_writer, sink_active, uninstall_sink};
 pub use span::{span, SpanGuard};

@@ -1,0 +1,61 @@
+//! Process-level resource readings (Linux `/proc` based).
+//!
+//! The scale benchmarks report peak memory next to throughput: a 1M-node
+//! training run that fits in RAM only because the streaming generator and
+//! the mini-batch path avoid `N×N` materialization needs a number proving
+//! it. `/proc/self/status` is a plain-text key/value file on Linux;
+//! elsewhere the readers return `None` and callers report the field as
+//! unavailable rather than failing.
+
+/// High-water-mark resident set size (`VmHWM`) of this process, in bytes.
+/// `None` when `/proc/self/status` is unavailable (non-Linux) or the field
+/// is missing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    read_status_kb("VmHWM:").map(|kb| kb * 1024)
+}
+
+/// Current resident set size (`VmRSS`) of this process, in bytes. Same
+/// availability caveats as [`peak_rss_bytes`].
+pub fn current_rss_bytes() -> Option<u64> {
+    read_status_kb("VmRSS:").map(|kb| kb * 1024)
+}
+
+/// Reads a `<key>  <n> kB` line from `/proc/self/status`.
+fn read_status_kb(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_kb(&status, key)
+}
+
+fn parse_status_kb(status: &str, key: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with(key))
+        .and_then(|l| l[key.len()..].split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_fields() {
+        let status = "Name:\tbench\nVmPeak:\t  123 kB\nVmHWM:\t   2048 kB\nVmRSS:\t 1024 kB\n";
+        assert_eq!(parse_status_kb(status, "VmHWM:"), Some(2048));
+        assert_eq!(parse_status_kb(status, "VmRSS:"), Some(1024));
+        assert_eq!(parse_status_kb(status, "VmSwap:"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn live_readings_are_positive_and_ordered() {
+        assert!(peak_rss_bytes().expect("VmHWM available on Linux") > 0);
+        assert!(current_rss_bytes().expect("VmRSS available on Linux") > 0);
+        // Compare within one status snapshot — two separate reads race
+        // against the allocator growing RSS in between.
+        let status = std::fs::read_to_string("/proc/self/status").unwrap();
+        let peak = parse_status_kb(&status, "VmHWM:").unwrap();
+        let cur = parse_status_kb(&status, "VmRSS:").unwrap();
+        assert!(peak >= cur, "peak {peak} kB < current {cur} kB");
+    }
+}

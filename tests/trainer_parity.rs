@@ -17,7 +17,7 @@ use std::sync::Mutex;
 
 use aneci::autograd::train::TrainError;
 use aneci::baselines::{Dominant, DominantConfig, Done, DoneConfig, Gae, GaeConfig};
-use aneci::core::{AneciConfig, AneciModel, StopStrategy, TrainReport};
+use aneci::core::{AneciConfig, AneciModel, BatchStrategy, StopStrategy, TrainReport};
 use aneci::graph::karate_club;
 use aneci::linalg::pool;
 use aneci::linalg::DenseMatrix;
@@ -104,6 +104,45 @@ fn validation_best_matches_reference_loop_bit_exactly() {
         !new_report.val_scores.is_empty(),
         "the probe should have run at least once"
     );
+}
+
+#[test]
+fn minibatch_full_graph_matches_reference_loop_bit_exactly() {
+    let _guard = POOL_CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let g = karate_club();
+    let cfg = quick_cfg(StopStrategy::FixedEpochs, 42);
+
+    // One batch spanning the whole graph must execute the exact full-batch
+    // op sequence: same operators, same tape order, same RNG streams.
+    let mut mini = AneciModel::new(&g, &cfg);
+    let mini_report = mini
+        .train_minibatch(BatchStrategy::FullGraph, None)
+        .unwrap();
+    let mut old = AneciModel::new(&g, &cfg);
+    let old_report = old.train_reference(None);
+
+    assert_reports_identical(&mini_report, &old_report);
+    assert_eq!(mini.embedding(), old.embedding(), "embeddings differ");
+}
+
+#[test]
+fn minibatch_early_stop_matches_reference_loop_bit_exactly() {
+    let _guard = POOL_CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let g = karate_club();
+    let cfg = quick_cfg(StopStrategy::EarlyStopModularity { patience: 8 }, 7);
+
+    // With one full-coverage batch per epoch, the epoch-mean batch Q̃ that
+    // mini-batch training monitors IS the full-batch Q̃ — so early stopping
+    // fires at the same epoch and the kept best embedding matches.
+    let mut mini = AneciModel::new(&g, &cfg);
+    let mini_report = mini
+        .train_minibatch(BatchStrategy::FullGraph, None)
+        .unwrap();
+    let mut old = AneciModel::new(&g, &cfg);
+    let old_report = old.train_reference(None);
+
+    assert_reports_identical(&mini_report, &old_report);
+    assert_eq!(mini.embedding(), old.embedding(), "embeddings differ");
 }
 
 #[test]
