@@ -30,9 +30,17 @@
 //!   per tier). The 10k tier additionally A/Bs mini-batch against the
 //!   full-batch path and gates on NMI/modularity within 0.02 and
 //!   nodes/sec ratio ≥ 1.0 (non-zero exit on failure, like `--kernels`).
+//! * `--dynamic` is the dynamic-graph benchmark: graph-delta
+//!   patch-and-compact throughput plus incremental `HighOrder::refresh`
+//!   rate (gated on bit-exactness against a full rebuild), then a live
+//!   `aneci_http`-style churn run — concurrent readers hammer `/v1/query`
+//!   while 20% of the embedding churns through `POST /v1/admin/reindex` —
+//!   writing `BENCH_dynamic.json` and gating on zero dropped queries,
+//!   snapshot-swap pause p99 < 1 ms, and post-churn ANN recall@10 ≥ 0.95
+//!   (non-zero exit on failure, like `--kernels`).
 //!
 //! Run with `cargo run --release -p aneci-bench --bin bench_report
-//! [-- --kernels | -- --serve | -- --http | -- --obs | -- --train | -- --scale [N]]`.
+//! [-- --kernels | -- --serve | -- --http | -- --obs | -- --train | -- --scale [N] | -- --dynamic]`.
 //! `ANECI_NUM_THREADS` caps the pooled measurements as usual;
 //! `ANECI_NO_SIMD=1` forces the scalar fallback (the `simd_vs_scalar`
 //! section then reports `active: false` and is excluded from the gate).
@@ -112,6 +120,8 @@ fn main() {
         obs_bench();
     } else if args.iter().any(|a| a == "--train") {
         train_bench();
+    } else if args.iter().any(|a| a == "--dynamic") {
+        dynamic_bench();
     } else if let Some(pos) = args.iter().position(|a| a == "--scale") {
         let max_nodes = args
             .get(pos + 1)
@@ -679,11 +689,11 @@ fn http_bench() {
     let addr = handle.addr();
 
     // Sanity before load: health, one query, one batch.
-    let health = client::get(addr, "/healthz").expect("healthz failed");
+    let health = client::get(addr, "/v1/healthz").expect("healthz failed");
     assert_eq!(health.status, 200, "{}", health.text());
     let warm = client::post(
         addr,
-        "/query",
+        "/v1/query",
         &format!(r#"{{"op":"top_k","node":0,"k":{k}}}"#),
     )
     .expect("warm-up query failed");
@@ -701,7 +711,7 @@ fn http_bench() {
                     let node = (c * per_client + i * 131) % n;
                     let line = format!(r#"{{"op":"top_k","node":{node},"k":{k}}}"#);
                     let t = Instant::now();
-                    let r = client.post("/query", &line).expect("query failed");
+                    let r = client.post("/v1/query", &line).expect("query failed");
                     lat.push(t.elapsed().as_secs_f64() * 1e6);
                     assert_eq!(r.status, 200, "{}", r.text());
                 }
@@ -728,7 +738,7 @@ fn http_bench() {
         })
         .collect();
     let t = Instant::now();
-    let batch = client::post(addr, "/query_batch", &batch_body).expect("batch failed");
+    let batch = client::post(addr, "/v1/query_batch", &batch_body).expect("batch failed");
     let batch_secs = t.elapsed().as_secs_f64();
     assert_eq!(batch.status, 200, "{}", batch.text());
     assert_eq!(batch.text().trim_end().lines().count(), total);
@@ -789,6 +799,346 @@ fn http_bench() {
         shed, 0,
         "load was shed during a steady-state run sized to the worker fleet"
     );
+}
+
+/// Dynamic-graph benchmark (ISSUE 9 acceptance): (a) graph-delta
+/// patch-and-compact plus incremental `HighOrder::refresh` throughput over a
+/// rolling SBM graph, gated on bit-exactness against a full rebuild of the
+/// final state; (b) a live churn run against the real HTTP server — reader
+/// threads hammer `/v1/query` while 20% of the embedding churns through
+/// `POST /v1/admin/reindex` batches — gated on zero dropped queries,
+/// snapshot-swap pause p99 < 1 ms, and post-churn ANN recall@10 ≥ 0.95.
+/// Writes `BENCH_dynamic.json`; any gate failure exits non-zero.
+fn dynamic_bench() {
+    use aneci_graph::delta::apply_to_csr;
+    use aneci_graph::{generate_sbm, GraphDelta, HighOrder, ProximityConfig, SbmConfig};
+    use aneci_serve::engine::{EngineConfig, QueryEngine};
+    use aneci_serve::hnsw::recall_at_k;
+    use aneci_serve::http::{client, HttpClient, HttpConfig, HttpServer};
+    use aneci_serve::store::{EmbeddingStore, Metric};
+    use aneci_serve::SnapshotUpdate;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    pool::force_pool();
+    let threads = pool::num_threads();
+    let mut gate_failures: Vec<String> = Vec::new();
+
+    // ---- Part A: delta patch + incremental refresh throughput ------------
+    // A rolling SBM graph absorbs single-edge deltas one at a time (the
+    // worst case for amortisation: every delta pays full patch + refresh),
+    // alternating inter-community additions with removals of existing edges.
+    let cfg = SbmConfig {
+        num_nodes: 2000,
+        num_classes: 8,
+        target_edges: 8000,
+        ..SbmConfig::small()
+    };
+    let graph = generate_sbm(&cfg, 11);
+    let prox = ProximityConfig::default();
+    let mut adj = graph.adjacency().clone();
+    let mut ho = HighOrder::build(&adj, &prox);
+    let n_a = adj.rows();
+
+    let mut edge_set: BTreeSet<(usize, usize)> = adj
+        .iter()
+        .filter(|&(u, v, _)| u < v)
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    let mut edges: Vec<(usize, usize)> = edge_set.iter().copied().collect();
+
+    let mut rng = seeded_rng(31);
+    let rounds = 200usize;
+    let mut apply_ns = 0u64;
+    let mut refresh_ns = 0u64;
+    let mut refreshed_rows = 0usize;
+    for round in 0..rounds {
+        let delta = if round % 2 == 0 {
+            // Add a fresh edge between two currently unconnected nodes.
+            loop {
+                let u = rng.gen_range(0..n_a);
+                let v = rng.gen_range(0..n_a);
+                let key = (u.min(v), u.max(v));
+                if u != v && !edge_set.contains(&key) {
+                    edge_set.insert(key);
+                    edges.push(key);
+                    break GraphDelta::new().add_edge(u, v);
+                }
+            }
+        } else {
+            let idx = rng.gen_range(0..edges.len());
+            let (u, v) = edges.swap_remove(idx);
+            edge_set.remove(&(u, v));
+            GraphDelta::new().remove_edge(u, v)
+        };
+        let t = Instant::now();
+        let (patched, report) = apply_to_csr(&adj, &delta).expect("delta apply failed");
+        apply_ns += t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        refreshed_rows += ho.refresh(&patched, &prox, &report);
+        refresh_ns += t.elapsed().as_nanos() as u64;
+        adj = patched;
+    }
+    let deltas_per_sec = rounds as f64 / ((apply_ns + refresh_ns) as f64 / 1e9).max(1e-12);
+    let refresh_rows_per_sec = refreshed_rows as f64 / (refresh_ns as f64 / 1e9).max(1e-12);
+
+    // Bit-exactness of the incremental path against a from-scratch rebuild
+    // of the final adjacency: the whole point of refresh() is that 200
+    // chained patches land on the identical proximity state.
+    let full = HighOrder::build(&adj, &prox);
+    let refresh_bit_exact =
+        ho.a_tilde == full.a_tilde && ho.k_tilde == full.k_tilde && ho.m_tilde == full.m_tilde;
+    if !refresh_bit_exact {
+        gate_failures
+            .push("incremental HighOrder::refresh diverged from a full rebuild".to_string());
+    }
+
+    // ---- Part B: zero-downtime churn against the live HTTP server --------
+    let embedding = clustered_embedding();
+    let (n, dim) = (embedding.rows(), embedding.cols());
+    let k = 10;
+    let ef = 128;
+    let engine_config = EngineConfig::builder()
+        .use_ann(true)
+        .ef_search(ef)
+        .cache_capacity(0)
+        .build()
+        .expect("engine config");
+    let engine = Arc::new(
+        QueryEngine::try_new(EmbeddingStore::new(embedding.clone(), None), engine_config)
+            .expect("engine build failed"),
+    );
+
+    // Churn plan: 20% of the store — half vector rewrites over the low ids,
+    // half deletions confined to the top `deletes` ids so readers querying
+    // below `safe_n` can never legitimately 404.
+    let churn = n / 5;
+    let deletes = churn / 2;
+    let rewrites = churn - deletes;
+    let safe_n = n - deletes;
+    let batches = 20usize;
+
+    let readers = 4usize;
+    let http_config = HttpConfig {
+        workers: readers + 3,
+        queue_capacity: (readers + 3) * 4,
+        ..HttpConfig::default()
+    };
+    let handle = HttpServer::start(Arc::clone(&engine), http_config, "127.0.0.1:0")
+        .expect("failed to start HTTP server");
+    let addr = handle.addr();
+    let warm = client::get(addr, "/v1/healthz").expect("healthz failed");
+    assert_eq!(warm.status, 200, "{}", warm.text());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ok_queries = Arc::new(AtomicU64::new(0));
+    let dropped_queries = Arc::new(AtomicU64::new(0));
+
+    // Reader fleet: keep-alive connections issuing single queries for the
+    // whole churn window. Any non-200 (or transport error) on a live node is
+    // a dropped query — the zero-downtime contract under test.
+    let reader_handles: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..readers)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let ok = Arc::clone(&ok_queries);
+            let dropped = Arc::clone(&dropped_queries);
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("reader connect failed");
+                let mut lat = Vec::new();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let node = (c * 677 + i * 131) % safe_n;
+                    let line = format!(r#"{{"op":"top_k","node":{node},"k":{k}}}"#);
+                    let t = Instant::now();
+                    match client.post("/v1/query", &line) {
+                        Ok(r) if r.status == 200 => {
+                            lat.push(t.elapsed().as_secs_f64() * 1e6);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += 1;
+                }
+                lat
+            })
+        })
+        .collect();
+
+    // Swap-pause sampler: times the reader-side snapshot pin (the only
+    // shared-state touch on the query path) while publishes race it. The
+    // p99 of this distribution is the observable "pause" of a swap.
+    let sampler = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut pins_us = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let t = Instant::now();
+                black_box(engine.snapshot());
+                pins_us.push(t.elapsed().as_secs_f64() * 1e6);
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+            pins_us
+        })
+    };
+
+    // Churn driver: `batches` reindex batches through the public admin
+    // route, each acknowledged with a generation that a read-your-writes
+    // query then insists on via `min_generation`.
+    let fresh = gaussian_matrix(rewrites, dim, 1.0, &mut rng);
+    let mut admin = HttpClient::connect(addr).expect("admin connect failed");
+    let mut reindex_ms = Vec::new();
+    let mut last_generation = 0u64;
+    let t_churn = Instant::now();
+    for b in 0..batches {
+        let mut update = SnapshotUpdate::new();
+        for i in (b * rewrites / batches)..((b + 1) * rewrites / batches) {
+            let node = (i * 97) % safe_n;
+            update = update.upsert(node, fresh.row(i).to_vec());
+        }
+        for node in (safe_n + b * deletes / batches)..(safe_n + (b + 1) * deletes / batches) {
+            update = update.delete(node);
+        }
+        let body = serde_json::to_string(&update).unwrap();
+        let t = Instant::now();
+        let r = admin
+            .post("/v1/admin/reindex", &body)
+            .expect("reindex failed");
+        reindex_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(r.status, 200, "{}", r.text());
+        let ack: serde_json::Value = serde_json::from_str(&r.text()).unwrap();
+        last_generation = ack["generation"].as_u64().expect("ack missing generation");
+
+        // Read-your-writes: the acknowledged generation must be queryable
+        // immediately, with no grace period.
+        let line =
+            format!(r#"{{"op":"top_k","node":0,"k":{k},"min_generation":{last_generation}}}"#);
+        let r = admin.post("/v1/query", &line).expect("ryw query failed");
+        if r.status != 200 {
+            gate_failures.push(format!(
+                "read-your-writes at generation {last_generation} answered {}",
+                r.status
+            ));
+        }
+    }
+    let churn_wall_s = t_churn.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let mut reader_lat: Vec<f64> = reader_handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("reader panicked"))
+        .collect();
+    reader_lat.sort_by(f64::total_cmp);
+    let mut pins_us = sampler.join().expect("sampler panicked");
+    pins_us.sort_by(f64::total_cmp);
+    handle.shutdown();
+
+    let ok = ok_queries.load(Ordering::Relaxed);
+    let dropped = dropped_queries.load(Ordering::Relaxed);
+    let query_qps = ok as f64 / churn_wall_s.max(1e-12);
+    let swap_pause_p99_us = percentile(&pins_us, 0.99);
+
+    // Post-churn recall@10 on the final snapshot: ANN search vs the exact
+    // tombstone-aware scan, over a spread of surviving nodes.
+    let snap = engine.snapshot();
+    let ann = snap.ann.as_ref().expect("engine was configured with ANN");
+    let mut recall_total = 0.0;
+    let mut recall_queries = 0usize;
+    for node in (0..n).step_by(7).filter(|&i| !snap.store.is_deleted(i)) {
+        let exact = snap.store.top_k_node(node, k, Metric::Cosine);
+        let approx = ann.search(snap.store.vector_of(node), k, ef, Some(node));
+        recall_total += recall_at_k(&exact, &approx);
+        recall_queries += 1;
+    }
+    let post_churn_recall = recall_total / recall_queries.max(1) as f64;
+
+    // ---- Gates ----------------------------------------------------------
+    if dropped > 0 {
+        gate_failures.push(format!("{dropped} queries dropped during live churn"));
+    }
+    if swap_pause_p99_us >= 1000.0 {
+        gate_failures.push(format!(
+            "snapshot-swap pause p99 {swap_pause_p99_us:.1} us >= 1 ms"
+        ));
+    }
+    if post_churn_recall < 0.95 {
+        gate_failures.push(format!(
+            "post-churn recall@{k} {post_churn_recall:.4} < 0.95"
+        ));
+    }
+    if last_generation != batches as u64 {
+        gate_failures.push(format!(
+            "expected generation {batches} after {batches} reindexes, got {last_generation}"
+        ));
+    }
+
+    let report = serde_json::json!({
+        "threads": threads,
+        "delta_refresh": {
+            "nodes": n_a,
+            "proximity_order": prox.order(),
+            "deltas_applied": rounds,
+            "deltas_per_sec": deltas_per_sec,
+            "rows_refreshed": refreshed_rows,
+            "refresh_rows_per_sec": refresh_rows_per_sec,
+            "refresh_bit_exact": refresh_bit_exact,
+        },
+        "http_churn": {
+            "nodes": n,
+            "dim": dim,
+            "k": k,
+            "ef_search": ef,
+            "readers": readers,
+            "churned_nodes": churn,
+            "rewrites": rewrites,
+            "deletes": deletes,
+            "reindex_batches": batches,
+            "final_generation": last_generation,
+            "churn_wall_s": churn_wall_s,
+            "reindex_p50_ms": percentile(&reindex_ms, 0.50),
+            "reindex_p99_ms": percentile(&reindex_ms, 0.99),
+            "queries_ok": ok,
+            "queries_dropped": dropped,
+            "query": lat_json(&reader_lat, query_qps),
+            "swap_pause_samples": pins_us.len(),
+            "swap_pause_p50_us": percentile(&pins_us, 0.50),
+            "swap_pause_p99_us": swap_pause_p99_us,
+            "post_churn_recall_at_10": post_churn_recall,
+        },
+        "gate_failures": gate_failures,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dynamic.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .expect("failed to write BENCH_dynamic.json");
+
+    println!("wrote {path} ({threads} threads)");
+    println!(
+        "  deltas  {deltas_per_sec:>9.0} deltas/s   refresh {refresh_rows_per_sec:>9.0} rows/s \
+         over {rounds} single-edge deltas ({refreshed_rows} rows), bit-exact: {refresh_bit_exact}"
+    );
+    println!(
+        "  churn   {ok} queries ({dropped} dropped) at {query_qps:.0} q/s while {churn} of {n} \
+         nodes churned over {batches} reindexes ({churn_wall_s:.2} s)"
+    );
+    println!(
+        "  swap    pause p50 {:.1} us, p99 {swap_pause_p99_us:.1} us over {} pins; \
+         reindex p50 {:.1} ms, p99 {:.1} ms",
+        percentile(&pins_us, 0.50),
+        pins_us.len(),
+        percentile(&reindex_ms, 0.50),
+        percentile(&reindex_ms, 0.99),
+    );
+    println!(
+        "  recall  post-churn recall@{k} {post_churn_recall:.4} over {recall_queries} live queries"
+    );
+    if !gate_failures.is_empty() {
+        for failure in &gate_failures {
+            println!("  GATE FAILED: {failure}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Training-engine benchmark: the shared `Trainer` driver vs the retained
@@ -907,7 +1257,7 @@ fn scale_bench(max_nodes: usize) {
     let mut gate_failures: Vec<String> = Vec::new();
 
     for &n in &sizes {
-        let scfg = StreamingConfig::scale(n);
+        let scfg = StreamingConfig::scale(n).expect("valid scale preset");
         let k = scfg.num_communities;
         let t = Instant::now();
         let streamed = generate_streamed(&scfg, 42, 100_000);

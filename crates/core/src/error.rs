@@ -37,6 +37,18 @@ pub enum AneciError {
         /// The offending loss value (NaN or ±∞).
         loss: f64,
     },
+    /// The drift guard tripped: after warm-start fine-tuning, the model's
+    /// community structure fell outside tolerance of a full-retrain oracle
+    /// (see `AneciModel::drift_check`). The fine-tuned model is left as-is —
+    /// the caller decides whether to retrain from scratch.
+    Drift {
+        /// Generalized modularity Q̃ of the fine-tuned model's communities.
+        q_tilde: f64,
+        /// Q̃ of the full-retrain oracle's communities on the same graph.
+        oracle_q_tilde: f64,
+        /// NMI between the fine-tuned and oracle community assignments.
+        nmi: f64,
+    },
 }
 
 impl fmt::Display for AneciError {
@@ -54,6 +66,27 @@ impl fmt::Display for AneciError {
                 "training diverged at epoch {epoch} (loss = {loss}); \
                  parameters restored to the last finite state"
             ),
+            AneciError::Drift {
+                q_tilde,
+                oracle_q_tilde,
+                nmi,
+            } => write!(
+                f,
+                "fine-tuned model drifted from the full-retrain oracle: \
+                 Q̃ = {q_tilde:.4} vs oracle {oracle_q_tilde:.4}, NMI = {nmi:.4}"
+            ),
+        }
+    }
+}
+
+/// Graph-layer failures (delta application, streaming config) surface
+/// through the core API: config problems stay `Config`, malformed deltas
+/// are dimension/reference mismatches and map to `Shape`.
+impl From<aneci_graph::GraphError> for AneciError {
+    fn from(e: aneci_graph::GraphError) -> Self {
+        match e {
+            aneci_graph::GraphError::Config(msg) => AneciError::Config(msg),
+            aneci_graph::GraphError::Delta(msg) => AneciError::Shape(msg),
         }
     }
 }

@@ -51,7 +51,7 @@ pub use config::{AneciConfig, AneciConfigBuilder, ReconMode, StopStrategy};
 pub use denoise::{aneci_plus, DenoiseConfig, DenoiseResult};
 pub use error::AneciError;
 pub use minibatch::{BatchStrategy, MiniBatchTrainer};
-pub use model::{rigidity, train_aneci, AneciModel, TrainReport, ValProbe};
+pub use model::{rigidity, train_aneci, AneciModel, DriftGuard, DriftStats, TrainReport, ValProbe};
 pub use modularity_defs::{
     classic_modularity, eq_modularity, generalized_modularity, one_hot_membership, qstar_modularity,
 };

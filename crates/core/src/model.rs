@@ -69,6 +69,8 @@ pub struct AneciModel {
     positives: Arc<[BcePair]>,
     pub(crate) num_nodes: usize,
     pub(crate) best_embedding: Option<DenseMatrix>,
+    /// Fine-tune passes applied so far (drives the periodic drift oracle).
+    fine_tunes: usize,
 }
 
 impl AneciModel {
@@ -127,6 +129,7 @@ impl AneciModel {
             positives,
             num_nodes: n,
             best_embedding: None,
+            fine_tunes: 0,
         })
     }
 
@@ -527,6 +530,217 @@ impl AneciModel {
         model.best_embedding = Some(ckpt.embedding.clone());
         Ok(model)
     }
+
+    /// Warm-start fine-tuning after a [`GraphDelta`]: applies the delta to
+    /// the model's retained adjacency and features (CSR patch-and-compact),
+    /// incrementally refreshes the high-order proximity via
+    /// [`HighOrder::refresh`] (bit-exact vs. a rebuild), rebuilds the
+    /// reconstruction targets, and resumes training **from the current
+    /// parameters** for `epochs` fixed epochs through the shared `Trainer`.
+    ///
+    /// DropEdge-style robustness (see the baselines) is why this is
+    /// principled: the encoder tolerates exactly the local perturbations a
+    /// delta introduces, so a few warm epochs re-converge where a cold
+    /// start would need hundreds. Pair with [`AneciModel::drift_check`] (or
+    /// use [`AneciModel::fine_tune_guarded`]) to bound accumulated drift
+    /// against a full-retrain oracle.
+    pub fn fine_tune(
+        &mut self,
+        delta: &aneci_graph::GraphDelta,
+        epochs: usize,
+    ) -> Result<TrainReport, AneciError> {
+        if epochs == 0 {
+            return Err(AneciError::Config(
+                "fine_tune requires at least one epoch".into(),
+            ));
+        }
+        let (new_adj, report) = aneci_graph::delta::apply_to_csr(&self.adjacency, delta)?;
+        let (features, _mask) = aneci_graph::delta::apply_to_features(&self.features, None, delta)?;
+
+        // Incremental proximity refresh — only rows whose l-hop
+        // neighbourhood changed are recomputed.
+        let mut ho = HighOrder {
+            a_tilde: (*self.a_tilde).clone(),
+            k_tilde: self.k_tilde.as_slice().to_vec(),
+            m_tilde: self.m_tilde,
+        };
+        ho.refresh(&new_adj, &self.config.proximity, &report);
+
+        self.num_nodes = report.nodes_after;
+        self.norm_adj = Arc::new(new_adj.add_identity().sym_normalize());
+        self.adjacency = Arc::new(new_adj);
+        self.k_tilde = DenseMatrix::column(&ho.k_tilde);
+        self.m_tilde = ho.m_tilde;
+        self.a_tilde = Arc::new(ho.a_tilde);
+        self.features = features;
+        self.rebuild_recon_targets();
+        // Any kept embedding predates the delta (and may have the wrong row
+        // count after node appends); training below re-establishes it.
+        self.best_embedding = None;
+        self.fine_tunes += 1;
+
+        // Resume from the current parameters for a fixed warm-up budget,
+        // leaving the persistent configuration untouched.
+        let saved = (self.config.epochs, self.config.stop);
+        self.config.epochs = epochs;
+        self.config.stop = StopStrategy::FixedEpochs;
+        let outcome = self.train(None);
+        (self.config.epochs, self.config.stop) = saved;
+        outcome
+    }
+
+    /// Compares this model's communities against a **full retrain oracle**
+    /// — a fresh model trained from scratch on the current (post-delta)
+    /// graph with this model's own configuration and seed. Returns the
+    /// comparison on success; errors with [`AneciError::Drift`] when the
+    /// fine-tuned modularity falls more than `guard.q_tolerance` below the
+    /// oracle's or the NMI between the two community assignments drops
+    /// under `guard.min_nmi`.
+    ///
+    /// This is the expensive periodic check of the fine-tune loop (a full
+    /// training run); [`AneciModel::fine_tune_guarded`] schedules it every
+    /// `guard.check_every` deltas.
+    pub fn drift_check(&self, guard: &DriftGuard) -> Result<DriftStats, AneciError> {
+        let membership = self.membership(); // Untrained error surfaces here
+        let edges: Vec<(usize, usize)> = self
+            .adjacency
+            .iter()
+            .filter(|&(u, v, _)| u < v)
+            .map(|(u, v, _)| (u, v))
+            .collect();
+        let graph =
+            AttributedGraph::from_edges(self.num_nodes, &edges, self.features.clone(), None);
+        let (oracle, _) = train_aneci(&graph, &self.config)?;
+        let stats = DriftStats {
+            q_tilde: self.q_tilde_of(&membership),
+            oracle_q_tilde: self.q_tilde_of(&oracle.membership()),
+            nmi: nmi_of(&self.communities(), &oracle.communities()),
+        };
+        if stats.q_tilde < stats.oracle_q_tilde - guard.q_tolerance || stats.nmi < guard.min_nmi {
+            return Err(AneciError::Drift {
+                q_tilde: stats.q_tilde,
+                oracle_q_tilde: stats.oracle_q_tilde,
+                nmi: stats.nmi,
+            });
+        }
+        Ok(stats)
+    }
+
+    /// [`AneciModel::fine_tune`] plus the periodic oracle comparison: every
+    /// `guard.check_every`-th fine-tune runs [`AneciModel::drift_check`]
+    /// and propagates its [`AneciError::Drift`]. Returns the training
+    /// report and the drift comparison when one ran.
+    pub fn fine_tune_guarded(
+        &mut self,
+        delta: &aneci_graph::GraphDelta,
+        epochs: usize,
+        guard: &DriftGuard,
+    ) -> Result<(TrainReport, Option<DriftStats>), AneciError> {
+        let report = self.fine_tune(delta, epochs)?;
+        let stats = if guard.check_every > 0 && self.fine_tunes.is_multiple_of(guard.check_every) {
+            Some(self.drift_check(guard)?)
+        } else {
+            None
+        };
+        Ok((report, stats))
+    }
+
+    /// Number of fine-tune passes applied since construction — the counter
+    /// [`AneciModel::fine_tune_guarded`] schedules oracle checks by.
+    pub fn fine_tunes(&self) -> usize {
+        self.fine_tunes
+    }
+
+    /// Rebuilds the reconstruction targets (dense BCE target or sampled
+    /// positive pairs) from the current `Ã`, mirroring `try_new`.
+    fn rebuild_recon_targets(&mut self) {
+        let exact = match self.config.recon {
+            ReconMode::Exact => true,
+            ReconMode::Sampled { .. } => false,
+            ReconMode::Auto => self.num_nodes <= self.config.exact_recon_threshold,
+        };
+        self.dense_target = exact.then(|| Arc::new(self.a_tilde.to_dense()));
+        self.positives = self
+            .a_tilde
+            .iter()
+            .map(|(i, j, v)| (i as u32, j as u32, v))
+            .collect::<Vec<_>>()
+            .into();
+    }
+}
+
+/// Tolerances for the periodic full-retrain drift oracle of
+/// [`AneciModel::fine_tune_guarded`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftGuard {
+    /// Run the oracle comparison every this many fine-tunes (`1` = every
+    /// call, `0` = never).
+    pub check_every: usize,
+    /// Allowed Q̃ shortfall below the oracle before tripping.
+    pub q_tolerance: f64,
+    /// Minimum NMI between fine-tuned and oracle communities.
+    pub min_nmi: f64,
+}
+
+impl Default for DriftGuard {
+    fn default() -> Self {
+        Self {
+            check_every: 8,
+            q_tolerance: 0.05,
+            min_nmi: 0.5,
+        }
+    }
+}
+
+/// The drift comparison of [`AneciModel::drift_check`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftStats {
+    /// Q̃ of the fine-tuned model's communities.
+    pub q_tilde: f64,
+    /// Q̃ of the full-retrain oracle's communities.
+    pub oracle_q_tilde: f64,
+    /// NMI between the two community assignments.
+    pub nmi: f64,
+}
+
+/// NMI between two hard community assignments (normalized by the mean
+/// entropy). Local implementation — `aneci-eval` depends on this crate, so
+/// the drift oracle cannot call it without a cycle.
+fn nmi_of(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "assignment length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let n = a.len() as f64;
+    let ka = a.iter().max().unwrap() + 1;
+    let kb = b.iter().max().unwrap() + 1;
+    let mut joint = vec![0usize; ka * kb];
+    let mut ma = vec![0usize; ka];
+    let mut mb = vec![0usize; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x * kb + y] += 1;
+        ma[x] += 1;
+        mb[y] += 1;
+    }
+    let mut mi = 0.0;
+    for x in 0..ka {
+        for y in 0..kb {
+            let nxy = joint[x * kb + y] as f64;
+            if nxy > 0.0 {
+                mi += nxy / n * ((nxy * n) / (ma[x] as f64 * mb[y] as f64)).ln();
+            }
+        }
+    }
+    let entropy = |c: &[usize]| -> f64 {
+        c.iter()
+            .filter(|&&v| v > 0)
+            .map(|&v| {
+                let p = v as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    mi / (0.5 * (entropy(&ma) + entropy(&mb))).max(1e-12)
 }
 
 /// Drives [`AneciModel::train`] through the shared [`Trainer`]: builds the
@@ -890,6 +1104,64 @@ mod tests {
         let g = karate_club();
         let model = AneciModel::new(&g, &quick_config(23));
         assert!(model.checkpoint().is_err());
+    }
+
+    #[test]
+    fn fine_tune_matches_fresh_model_state_and_resumes() {
+        let g = karate_club();
+        let cfg = quick_config(31);
+        let mut model = AneciModel::new(&g, &cfg);
+        model.train(None).unwrap();
+        let delta = aneci_graph::GraphDelta::new()
+            .add_edge(0, 33)
+            .remove_edge(0, 1);
+        let report = model.fine_tune(&delta, 5).unwrap();
+        assert_eq!(report.epochs_run, 5);
+        assert_eq!(model.fine_tunes(), 1);
+        // Config restored after the warm-up override.
+        assert_eq!(model.config().epochs, cfg.epochs);
+        assert_eq!(model.config().stop, cfg.stop);
+        // The refreshed proximity state is bit-identical to a from-scratch
+        // model on the edited graph.
+        let edited = g.with_edits(&[(0, 33)], &[(0, 1)]);
+        let fresh = AneciModel::new(&edited, &cfg);
+        assert_eq!(model.a_tilde(), fresh.a_tilde());
+        assert_eq!(model.k_tilde(), fresh.k_tilde());
+        assert_eq!(model.m_tilde(), fresh.m_tilde());
+        // And the model is trained (has a kept embedding of the right size).
+        assert_eq!(model.embedding().rows(), g.num_nodes());
+    }
+
+    #[test]
+    fn fine_tune_zero_epochs_is_a_config_error() {
+        let g = karate_club();
+        let mut model = AneciModel::new(&g, &quick_config(32));
+        model.train(None).unwrap();
+        assert!(matches!(
+            model.fine_tune(&aneci_graph::GraphDelta::new(), 0),
+            Err(AneciError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn drift_check_passes_when_fine_tune_converges() {
+        let g = karate_club();
+        let mut cfg = quick_config(33);
+        cfg.embed_dim = 2;
+        let mut model = AneciModel::new(&g, &cfg);
+        model.train(None).unwrap();
+        // A gentle delta plus a full warm-up budget: communities should
+        // stay close to the oracle's.
+        let delta = aneci_graph::GraphDelta::new().add_edge(4, 12);
+        let guard = DriftGuard {
+            check_every: 1,
+            q_tolerance: 0.15,
+            min_nmi: 0.1,
+        };
+        let (report, stats) = model.fine_tune_guarded(&delta, 40, &guard).unwrap();
+        assert_eq!(report.epochs_run, 40);
+        let stats = stats.expect("check_every=1 must run the oracle");
+        assert!(stats.nmi >= 0.1, "NMI vs oracle: {}", stats.nmi);
     }
 
     use aneci_linalg::rng::seeded_rng;

@@ -9,6 +9,7 @@
 //!   them, i.e. inside the GCN normalization);
 //! * `features.rows() == n`, `labels.len() == n` when present.
 
+use crate::delta::{apply_to_csr, apply_to_features, DeltaReport, GraphDelta, GraphError};
 use aneci_linalg::{CsrMatrix, DenseMatrix};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -68,6 +69,10 @@ pub struct AttributedGraph {
     pub split: Split,
     /// Human-readable dataset name.
     pub name: String,
+    /// Per-node missing-attribute flags; `None` ⇔ every node is fully
+    /// attributed. Only delta application sets this (old serialized graphs
+    /// deserialize with `None`).
+    missing_mask: Option<Vec<bool>>,
 }
 
 impl AttributedGraph {
@@ -104,6 +109,7 @@ impl AttributedGraph {
             labels,
             split: Split::default(),
             name: String::new(),
+            missing_mask: None,
         }
     }
 
@@ -218,6 +224,47 @@ impl AttributedGraph {
         self.adjacency.add_identity().sym_normalize()
     }
 
+    /// Per-node missing-attribute flags, set by delta application; `None`
+    /// when every node is fully attributed.
+    pub fn missing_mask(&self) -> Option<&[bool]> {
+        self.missing_mask.as_deref()
+    }
+
+    /// True when node `u`'s attributes are flagged missing.
+    pub fn is_attribute_missing(&self, u: usize) -> bool {
+        self.missing_mask.as_ref().is_some_and(|m| m[u])
+    }
+
+    /// Applies a [`GraphDelta`] in place: CSR patch-and-compact for the
+    /// topology ops, feature append/set/clear with the missing-attribute
+    /// mask, stable node ids throughout (removed nodes are isolated, not
+    /// renumbered — see the [`delta`](crate::delta) module docs). Appending
+    /// nodes to a labelled graph is a typed error: there is no honest label
+    /// to invent, so callers must drop `labels` first.
+    ///
+    /// On error the graph is untouched. On success returns the
+    /// [`DeltaReport`] that seeds
+    /// [`HighOrder::refresh`](crate::proximity::HighOrder::refresh), and
+    /// records the wall time in the `delta.apply_ns` histogram.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaReport, GraphError> {
+        let start = std::time::Instant::now();
+        if !delta.add_nodes.is_empty() && self.labels.is_some() {
+            return Err(GraphError::Delta(
+                "cannot append nodes to a labelled graph (no label to assign); \
+                 clear `labels` first"
+                    .into(),
+            ));
+        }
+        let (adjacency, report) = apply_to_csr(&self.adjacency, delta)?;
+        let (features, missing_mask) =
+            apply_to_features(&self.features, self.missing_mask.as_deref(), delta)?;
+        self.adjacency = adjacency;
+        self.features = features;
+        self.missing_mask = missing_mask;
+        aneci_obs::histogram_time_ns("delta.apply_ns").observe(start.elapsed().as_nanos() as f64);
+        Ok(report)
+    }
+
     /// Sets the split after validating it.
     pub fn set_split(&mut self, split: Split) {
         split.validate(self.num_nodes()).expect("invalid split");
@@ -256,6 +303,11 @@ impl AttributedGraph {
         if let Some(l) = &self.labels {
             if l.len() != a.rows() {
                 return Err("label count != node count".into());
+            }
+        }
+        if let Some(m) = &self.missing_mask {
+            if m.len() != a.rows() {
+                return Err("missing-attribute mask length != node count".into());
             }
         }
         self.split.validate(a.rows())
@@ -383,6 +435,50 @@ mod tests {
             test: vec![2, 3],
         });
         assert_eq!(g.split.len(), 4);
+    }
+
+    #[test]
+    fn apply_delta_matches_with_edits() {
+        let mut g = triangle_plus_tail();
+        let expect = g.with_edits(&[(0, 3)], &[(1, 2)]);
+        let report = g
+            .apply_delta(&GraphDelta::new().add_edge(0, 3).remove_edge(1, 2))
+            .unwrap();
+        assert_eq!(g.adjacency(), expect.adjacency());
+        assert_eq!(report.edges_added, 1);
+        assert_eq!(report.edges_removed, 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_delta_appends_and_isolates_nodes() {
+        let mut g = triangle_plus_tail();
+        g.labels = None;
+        let delta = GraphDelta::new()
+            .add_node(vec![1.0, 0.0, 0.0, 0.0])
+            .add_node_missing()
+            .add_edge(4, 0)
+            .remove_node(2);
+        let report = g.apply_delta(&delta).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(report.nodes_after, 6);
+        assert!(g.has_edge(4, 0));
+        assert_eq!(g.degree(2), 0);
+        assert!(g.is_attribute_missing(5));
+        assert!(g.is_attribute_missing(2), "removed node attributes cleared");
+        assert!(!g.is_attribute_missing(4));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_delta_rejects_appending_to_labelled_graph() {
+        let mut g = triangle_plus_tail();
+        let before = g.clone();
+        let err = g.apply_delta(&GraphDelta::new().add_node_missing());
+        assert!(matches!(err, Err(GraphError::Delta(_))));
+        // Error leaves the graph untouched.
+        assert_eq!(g.adjacency(), before.adjacency());
+        assert_eq!(g.features(), before.features());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! * [`io`] — JSON + edge-list persistence.
 
 pub mod attributed;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod karate;
@@ -28,6 +29,7 @@ pub mod stats;
 pub mod streaming;
 
 pub use attributed::{AttributedGraph, Split};
+pub use delta::{DeltaReport, GraphDelta, GraphError};
 pub use generators::{generate_sbm, sample_split, Benchmark, FeatureKind, SbmConfig};
 pub use karate::karate_club;
 pub use lfr::{generate_lfr, LfrConfig};

@@ -5,8 +5,10 @@
 //! `k̃_i = Σ_j Ã_ij` and the total mass `M̃ = Σ_ij Ã_ij` (Sec. IV-C3); the
 //! triple is bundled in [`HighOrder`].
 
+use crate::delta::DeltaReport;
 use aneci_linalg::CsrMatrix;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Configuration for building the high-order proximity matrix.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -175,42 +177,7 @@ impl HighOrder {
     /// is what the batch modularity normalizes by. Peak memory is
     /// `O(|S| · min(N, reach_l))` entries — per-batch, never N×N.
     pub fn build_rows(adjacency: &CsrMatrix, config: &ProximityConfig, nodes: &[usize]) -> Self {
-        assert_eq!(
-            adjacency.rows(),
-            adjacency.cols(),
-            "adjacency must be square"
-        );
-        assert!(
-            !config.weights.is_empty(),
-            "at least one proximity weight required"
-        );
-        let base = if config.self_loops {
-            adjacency.add_identity()
-        } else {
-            adjacency.clone()
-        };
-        let n = base.cols();
-        let mut power = base.gather_rows(nodes);
-        let mut acc = CsrMatrix::zeros(nodes.len(), n);
-        let mut scratch = CsrMatrix::zeros(nodes.len(), n);
-        for (l, &w) in config.weights.iter().enumerate() {
-            if l > 0 {
-                power.spmm_into(&base, &mut scratch);
-                std::mem::swap(&mut power, &mut scratch);
-                if let Some(k) = config.top_k {
-                    power.prune_top_k_into(k, &mut scratch);
-                    std::mem::swap(&mut power, &mut scratch);
-                }
-            }
-            if w != 0.0 {
-                acc.add_scaled_into(&power, w, &mut scratch);
-                std::mem::swap(&mut acc, &mut scratch);
-            }
-        }
-        let mut slab = acc;
-        if config.row_normalize {
-            slab.row_normalize_inplace();
-        }
+        let slab = row_slab(adjacency, config, nodes);
         let a_tilde = slab.select_columns(nodes);
         let k_tilde = a_tilde.row_sums();
         let m_tilde = k_tilde.iter().sum();
@@ -219,6 +186,120 @@ impl HighOrder {
             k_tilde,
             m_tilde,
         }
+    }
+
+    /// Incrementally updates `self` to the high-order proximity of the
+    /// **post-delta** adjacency, recomputing only the rows whose l-hop
+    /// neighbourhood a delta changed. Returns the number of rows refreshed
+    /// (also added to the `refresh.rows` obs counter).
+    ///
+    /// **Dirty-row bound.** Row `i` of `Ã` aggregates walks of length ≤ l
+    /// from `i`, so it changes only if such a walk can cross a changed
+    /// edge — i.e. `i` lies within `l − 1` hops of a touched endpoint in
+    /// the *union* of the old and new graphs. Old edges are exactly the new
+    /// adjacency plus [`DeltaReport::removed_edges`], so the BFS runs over
+    /// the new adjacency augmented with those removed edges; no old
+    /// adjacency is kept around.
+    ///
+    /// Dirty rows are recomputed with the same full-width row slab
+    /// [`HighOrder::build_rows`] uses (per-row Gustavson expansion is
+    /// row-local, so a clean row's value stream never changes) and spliced
+    /// into the retained matrix in one O(nnz) compact. The result — `Ã`,
+    /// `k̃`, and `M̃` — is **bit-identical** to a from-scratch
+    /// [`HighOrder::build`] of the new adjacency (pinned by
+    /// `tests/dynamic_graph.rs`). `self` must hold the pre-delta proximity
+    /// built with the same `config`; appended node rows are new by
+    /// definition and always refreshed.
+    pub fn refresh(
+        &mut self,
+        adjacency: &CsrMatrix,
+        config: &ProximityConfig,
+        report: &DeltaReport,
+    ) -> usize {
+        assert_eq!(
+            self.a_tilde.rows(),
+            report.nodes_before,
+            "refresh: HighOrder rows do not match the delta's nodes_before"
+        );
+        assert_eq!(
+            adjacency.rows(),
+            report.nodes_after,
+            "refresh: adjacency is not the post-delta matrix"
+        );
+        let n = adjacency.rows();
+        if report.touched.is_empty() {
+            return 0; // attribute-only delta: topology unchanged
+        }
+
+        // Depth-(l−1) BFS ball around the touched endpoints, over the new
+        // adjacency plus the physically removed edges (the old-graph reach).
+        let mut extra: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(u, v) in &report.removed_edges {
+            extra.entry(u).or_default().push(v);
+            extra.entry(v).or_default().push(u);
+        }
+        let mut visited = vec![false; n];
+        let mut frontier = Vec::with_capacity(report.touched.len());
+        for &u in &report.touched {
+            if !visited[u] {
+                visited[u] = true;
+                frontier.push(u);
+            }
+        }
+        for _ in 1..config.order() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for (v, _) in adjacency.row_entries(u) {
+                    if !visited[v] {
+                        visited[v] = true;
+                        next.push(v);
+                    }
+                }
+                if let Some(vs) = extra.get(&u) {
+                    for &v in vs {
+                        if !visited[v] {
+                            visited[v] = true;
+                            next.push(v);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        let dirty: Vec<usize> = (0..n).filter(|&i| visited[i]).collect();
+
+        // Recompute the dirty rows at full column width, then splice them
+        // into the retained rows in one compact pass.
+        let slab = row_slab(adjacency, config, &dirty);
+        let nnz = self.a_tilde.nnz() + slab.nnz();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices: Vec<u32> = Vec::with_capacity(nnz);
+        let mut values: Vec<f64> = Vec::with_capacity(nnz);
+        indptr.push(0usize);
+        let mut di = 0usize;
+        for (r, &dirty_row) in visited.iter().enumerate() {
+            if dirty_row {
+                for (c, v) in slab.row_entries(di) {
+                    indices.push(c as u32);
+                    values.push(v);
+                }
+                di += 1;
+            } else {
+                for (c, v) in self.a_tilde.row_entries(r) {
+                    indices.push(c as u32);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        self.a_tilde = CsrMatrix::from_raw(n, n, indptr, indices, values);
+        self.k_tilde = self.a_tilde.row_sums();
+        self.m_tilde = self.k_tilde.iter().sum();
+        aneci_obs::counter("refresh.rows").add(dirty.len() as u64);
+        dirty.len()
     }
 
     /// Number of nodes.
@@ -237,6 +318,52 @@ impl HighOrder {
             dense.get(i, j) - self.k_tilde[i] * self.k_tilde[j] / two_m
         })
     }
+}
+
+/// The shared row-slab power loop of [`HighOrder::build_rows`] and
+/// [`HighOrder::refresh`]: the rows of the full-graph `Ã` for `nodes`
+/// (sorted strictly increasing) at **full column width** `N`, computed with
+/// the identical double-buffered `spmm`/`prune`/`add_scaled` order
+/// [`HighOrder::build`] uses so every row is bit-identical to the global
+/// build's. Peak memory is `O(|S| · min(N, reach_l))` entries.
+fn row_slab(adjacency: &CsrMatrix, config: &ProximityConfig, nodes: &[usize]) -> CsrMatrix {
+    assert_eq!(
+        adjacency.rows(),
+        adjacency.cols(),
+        "adjacency must be square"
+    );
+    assert!(
+        !config.weights.is_empty(),
+        "at least one proximity weight required"
+    );
+    let base = if config.self_loops {
+        adjacency.add_identity()
+    } else {
+        adjacency.clone()
+    };
+    let n = base.cols();
+    let mut power = base.gather_rows(nodes);
+    let mut acc = CsrMatrix::zeros(nodes.len(), n);
+    let mut scratch = CsrMatrix::zeros(nodes.len(), n);
+    for (l, &w) in config.weights.iter().enumerate() {
+        if l > 0 {
+            power.spmm_into(&base, &mut scratch);
+            std::mem::swap(&mut power, &mut scratch);
+            if let Some(k) = config.top_k {
+                power.prune_top_k_into(k, &mut scratch);
+                std::mem::swap(&mut power, &mut scratch);
+            }
+        }
+        if w != 0.0 {
+            acc.add_scaled_into(&power, w, &mut scratch);
+            std::mem::swap(&mut acc, &mut scratch);
+        }
+    }
+    let mut slab = acc;
+    if config.row_normalize {
+        slab.row_normalize_inplace();
+    }
+    slab
 }
 
 #[cfg(test)]
@@ -379,6 +506,59 @@ mod tests {
             assert_eq!(batch.a_tilde, expect);
             assert_eq!(batch.k_tilde, expect.row_sums());
         }
+    }
+
+    #[test]
+    fn refresh_is_bit_exact_vs_full_build() {
+        use crate::attributed::AttributedGraph;
+        use crate::delta::GraphDelta;
+        // Ring with chords: large enough that the dirty ball is a strict
+        // subset of the rows for small orders.
+        let n = 30;
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        edges.extend([(0, 15), (3, 22), (7, 11)]);
+        let graph = AttributedGraph::from_edges_plain(n, &edges, None);
+        let delta = GraphDelta::new()
+            .add_edge(2, 20)
+            .remove_edge(0, 15)
+            .add_node_missing()
+            .add_edge(n, 5)
+            .remove_node(11);
+        for cfg in [
+            ProximityConfig::uniform(1),
+            ProximityConfig::uniform(2),
+            ProximityConfig::uniform(3).with_top_k(4),
+            ProximityConfig::uniform(2).with_self_loops(false),
+        ] {
+            let mut ho = HighOrder::build(graph.adjacency(), &cfg);
+            let mut g2 = graph.clone();
+            let report = g2.apply_delta(&delta).unwrap();
+            let rows = ho.refresh(g2.adjacency(), &cfg, &report);
+            let full = HighOrder::build(g2.adjacency(), &cfg);
+            assert_eq!(ho.a_tilde, full.a_tilde, "order {}", cfg.order());
+            assert_eq!(ho.k_tilde, full.k_tilde);
+            assert_eq!(ho.m_tilde, full.m_tilde);
+            assert!(rows >= report.touched.len());
+            if cfg.order() <= 2 {
+                assert!(rows < n + 1, "dirty ball must stay partial, got {rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_only_delta_refreshes_nothing() {
+        use crate::attributed::AttributedGraph;
+        use crate::delta::GraphDelta;
+        let graph = AttributedGraph::from_edges_plain(6, &[(0, 1), (1, 2), (3, 4)], None);
+        let cfg = ProximityConfig::uniform(2);
+        let mut ho = HighOrder::build(graph.adjacency(), &cfg);
+        let before = ho.a_tilde.clone();
+        let mut g2 = graph.clone();
+        let report = g2
+            .apply_delta(&GraphDelta::new().set_attribute(1, vec![0.5; 6]))
+            .unwrap();
+        assert_eq!(ho.refresh(g2.adjacency(), &cfg, &report), 0);
+        assert_eq!(ho.a_tilde, before);
     }
 
     #[test]

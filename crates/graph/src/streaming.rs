@@ -36,6 +36,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::attributed::AttributedGraph;
+use crate::delta::GraphError;
 
 /// Configuration for the streaming planted-partition generator.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,33 +66,76 @@ impl StreamingConfig {
     /// Scale-bench preset: `k ≈ √n / 3` balanced communities (so community
     /// subgraphs stay mini-batch sized), mean degree 8, strong homophily,
     /// mild degree tail, 16-dim separable features.
-    pub fn scale(num_nodes: usize) -> Self {
+    ///
+    /// Returns a typed [`GraphError::Config`] when `num_nodes` is out of
+    /// range — fewer than 2 nodes, or more than the `u32` node-id space the
+    /// edge stream emits (ids used to be silently truncated by the `as u32`
+    /// casts; now the bound is checked up front).
+    pub fn scale(num_nodes: usize) -> Result<Self, GraphError> {
         let k = ((num_nodes as f64).sqrt() / 3.0).round().max(2.0) as usize;
-        Self {
+        let cfg = Self {
             num_nodes,
-            num_communities: k,
+            num_communities: k.min(num_nodes),
             avg_degree: 8.0,
             homophily: 0.9,
             degree_exponent: Some(2.5),
             feature_dim: 16,
             feature_separation: 1.5,
             feature_noise: 1.0,
+        };
+        cfg.check()?;
+        Ok(cfg)
+    }
+
+    /// Validates every field, returning a typed [`GraphError::Config`] on
+    /// the first violation. The generator entry points call this through
+    /// [`validate`](Self::validate) (which panics, preserving their
+    /// fail-fast contract); config-building code should call `check`
+    /// directly and propagate the error.
+    pub fn check(&self) -> Result<(), GraphError> {
+        let bad = |msg: String| Err(GraphError::Config(msg));
+        if self.num_nodes < 2 {
+            return bad("streaming: need at least 2 nodes".into());
         }
+        // Node ids travel as u32 through the edge stream and CSR column
+        // indices; a node count past that space would otherwise wrap the
+        // `as u32` casts silently.
+        if self.num_nodes > u32::MAX as usize {
+            return bad(format!(
+                "streaming: {} nodes exceed the u32 node-id space ({})",
+                self.num_nodes,
+                u32::MAX
+            ));
+        }
+        if self.num_communities < 1 || self.num_communities > self.num_nodes {
+            return bad(format!(
+                "streaming: communities ({}) must be in 1..={}",
+                self.num_communities, self.num_nodes
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.homophily) {
+            return bad(format!(
+                "streaming: homophily {} outside [0, 1]",
+                self.homophily
+            ));
+        }
+        if !self.avg_degree.is_finite() || self.avg_degree < 0.0 {
+            return bad(format!("streaming: invalid avg_degree {}", self.avg_degree));
+        }
+        if let Some(alpha) = self.degree_exponent {
+            if alpha.is_nan() || alpha <= 1.0 {
+                return bad(format!("streaming: degree exponent {alpha} must exceed 1"));
+            }
+        }
+        if self.feature_dim == 0 {
+            return bad("streaming: feature_dim must be positive".into());
+        }
+        Ok(())
     }
 
     fn validate(&self) {
-        assert!(self.num_nodes >= 2, "streaming: need at least 2 nodes");
-        assert!(
-            self.num_communities >= 1 && self.num_communities <= self.num_nodes,
-            "streaming: communities must be in 1..=num_nodes"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.homophily),
-            "streaming: homophily must be in [0, 1]"
-        );
-        assert!(self.avg_degree >= 0.0, "streaming: negative avg_degree");
-        if let Some(alpha) = self.degree_exponent {
-            assert!(alpha > 1.0, "streaming: degree exponent must exceed 1");
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
     }
 }
@@ -523,6 +567,26 @@ mod tests {
                 .unwrap()
         };
         assert!(max_deg(&skewed) > max_deg(&uniform));
+    }
+
+    #[test]
+    fn scale_and_check_return_typed_errors() {
+        assert!(StreamingConfig::scale(10_000).is_ok());
+        assert!(matches!(
+            StreamingConfig::scale(1),
+            Err(GraphError::Config(_))
+        ));
+        assert!(matches!(
+            StreamingConfig::scale(u32::MAX as usize + 10),
+            Err(GraphError::Config(_))
+        ));
+        let mut cfg = small_cfg();
+        cfg.homophily = 1.5;
+        assert!(matches!(cfg.check(), Err(GraphError::Config(_))));
+        cfg = small_cfg();
+        cfg.num_communities = 0;
+        assert!(matches!(cfg.check(), Err(GraphError::Config(_))));
+        assert!(small_cfg().check().is_ok());
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //!   --metric <m>       default metric: cosine | dot (default cosine)
 //!   --cache <n>        LRU response-cache capacity (default 1024, 0 = off)
 //!   --threads <n>      aneci-linalg pool threads for batch execution
+//!   --delta-log <path> persist applied /v1/admin/reindex updates here and
+//!                      replay them at startup (crash-safe dynamic serving)
 //! ```
 //!
-//! Routes: `GET /healthz`, `GET /metrics`, `POST /query`,
-//! `POST /query_batch`, `POST /shutdown`. The process runs until
-//! `POST /shutdown` (or SIGKILL), drains in-flight requests, prints the
-//! serve counters to stderr, and exits 0.
+//! Routes (versioned): `GET /v1/healthz`, `GET /v1/metrics`,
+//! `POST /v1/query`, `POST /v1/query_batch`, `POST /v1/admin/reindex`,
+//! `POST /v1/admin/shutdown`; the unversioned legacy paths answer 301. The
+//! process runs until `POST /v1/admin/shutdown` (or SIGKILL), drains
+//! in-flight requests, prints the serve counters to stderr, and exits 0.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -47,12 +50,13 @@ struct Args {
     metric: Metric,
     cache: usize,
     threads: Option<usize>,
+    delta_log: Option<String>,
 }
 
 fn usage() -> String {
     "usage: aneci_http <checkpoint.aneci> [--addr HOST:PORT] [--addr-file FILE] \
      [--workers N] [--queue N] [--idle-ms N] [--no-keepalive] [--ann] [--ef N] \
-     [--k N] [--metric cosine|dot] [--cache N] [--threads N]"
+     [--k N] [--metric cosine|dot] [--cache N] [--threads N] [--delta-log FILE]"
         .to_string()
 }
 
@@ -76,6 +80,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         metric: Metric::Cosine,
         cache: 1024,
         threads: None,
+        delta_log: None,
     };
     let mut it = argv.iter();
     let mut positional = Vec::new();
@@ -97,6 +102,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--k" => args.k = parse_num(&value_of("--k")?, "--k")?,
             "--cache" => args.cache = parse_num(&value_of("--cache")?, "--cache")?,
             "--threads" => args.threads = Some(parse_num(&value_of("--threads")?, "--threads")?),
+            "--delta-log" => args.delta_log = Some(value_of("--delta-log")?),
             "--metric" => {
                 let m = value_of("--metric")?;
                 args.metric = Metric::parse(&m)
@@ -137,21 +143,30 @@ fn run() -> Result<(), String> {
     );
 
     let t1 = Instant::now();
-    let engine = Arc::new(QueryEngine::new(
-        store,
-        EngineConfig {
-            default_k: args.k,
-            default_metric: args.metric,
-            use_ann: args.ann,
-            ef_search: args.ef,
-            cache_capacity: args.cache,
-            ..EngineConfig::default()
-        },
-    ));
+    let mut builder = EngineConfig::builder()
+        .default_k(args.k)
+        .default_metric(args.metric)
+        .use_ann(args.ann)
+        .ef_search(args.ef)
+        .cache_capacity(args.cache);
+    if let Some(path) = &args.delta_log {
+        builder = builder.delta_log(path);
+    }
+    let config = builder.build().map_err(|e| format!("engine config: {e}"))?;
+    let engine =
+        Arc::new(QueryEngine::try_new(store, config).map_err(|e| format!("building engine: {e}"))?);
     if args.ann {
         eprintln!(
             "built HNSW index in {:.1} ms",
             t1.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    if args.delta_log.is_some() && engine.generation() > 0 {
+        eprintln!(
+            "replayed delta log to generation {} ({} live / {} total nodes)",
+            engine.generation(),
+            engine.snapshot().store.num_live(),
+            engine.snapshot().store.num_nodes(),
         );
     }
 
@@ -175,8 +190,8 @@ fn run() -> Result<(), String> {
         std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("writing {path}: {e}"))?;
     }
 
-    // Runs until POST /shutdown flips the drain flag; then in-flight and
-    // queued work completes and the threads join.
+    // Runs until POST /v1/admin/shutdown flips the drain flag; then
+    // in-flight and queued work completes and the threads join.
     handle.wait();
 
     let snap = aneci_obs::global().snapshot();

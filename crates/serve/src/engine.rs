@@ -21,16 +21,28 @@
 //! chunks; since every query handler is deterministic, responses are
 //! byte-identical regardless of thread count or cache state.
 
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
+use aneci_core::AneciError;
 use aneci_linalg::pool;
+use aneci_linalg::DenseMatrix;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::LruCache;
 use crate::hnsw::{HnswConfig, HnswIndex};
+use crate::snapshot::{Snapshot, SnapshotHandle, SnapshotUpdate, StoreGuard};
 use crate::store::{EmbeddingStore, Metric};
 
-/// A single query, tagged by `"op"`.
+/// A single query, tagged by `"op"`. This is the one typed request shape
+/// shared by the JSONL and HTTP front ends (see [`QueryRequest`]).
+///
+/// Every variant accepts an optional `min_generation`: when set, the query
+/// fails with [`ErrorCode::SnapshotStale`] unless the serving snapshot's
+/// generation is at least that value — a client that just observed a
+/// reindex acknowledgment can insist on reading its own write.
 #[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
 #[serde(tag = "op", rename_all = "snake_case")]
 pub enum Query {
@@ -42,12 +54,44 @@ pub enum Query {
         k: Option<usize>,
         metric: Option<String>,
         ann: Option<bool>,
+        min_generation: Option<u64>,
     },
     /// Community assignment + soft membership of a node.
-    Community { node: usize },
+    Community {
+        node: usize,
+        min_generation: Option<u64>,
+    },
     /// Link-prediction score for a node pair (the eval scorer).
-    EdgeScore { u: usize, v: usize },
+    EdgeScore {
+        u: usize,
+        v: usize,
+        min_generation: Option<u64>,
+    },
 }
+
+impl Query {
+    /// The generation floor this query demands, if any.
+    pub fn min_generation(&self) -> Option<u64> {
+        match self {
+            Query::TopK { min_generation, .. }
+            | Query::Community { min_generation, .. }
+            | Query::EdgeScore { min_generation, .. } => *min_generation,
+        }
+    }
+
+    /// Parses one JSON query — the shared entry point of the JSONL and
+    /// HTTP paths, so both reject malformed input identically.
+    pub fn parse(line: &str) -> Result<Query, Response> {
+        serde_json::from_str(line.trim())
+            .map_err(|e| err(ErrorCode::BadRequest, format!("bad query: {e}")))
+    }
+}
+
+/// The typed request both front ends share (alias of [`Query`]).
+pub type QueryRequest = Query;
+
+/// The typed response both front ends share (alias of [`Response`]).
+pub type QueryResponse = Response;
 
 /// Machine-readable classification of an error response, shared by the
 /// JSONL and HTTP serving paths. Serialized in `snake_case` (for example
@@ -74,6 +118,10 @@ pub enum ErrorCode {
     Unsupported,
     /// The server shed the request under load (bounded queue full).
     Overloaded,
+    /// The query demanded `min_generation` newer than the serving snapshot.
+    SnapshotStale,
+    /// A snapshot rebuild is already running; retry after it publishes.
+    ReindexInProgress,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -90,6 +138,8 @@ impl ErrorCode {
             ErrorCode::HeadersTooLarge => 431,
             ErrorCode::Unsupported => 501,
             ErrorCode::Overloaded => 503,
+            ErrorCode::SnapshotStale => 412,
+            ErrorCode::ReindexInProgress => 409,
             ErrorCode::Internal => 500,
         }
     }
@@ -155,6 +205,13 @@ pub struct EngineConfig {
     pub hnsw: HnswConfig,
     /// LRU response-cache capacity; 0 disables caching.
     pub cache_capacity: usize,
+    /// Fraction of tombstoned ANN nodes (ghosts / slots) above which a
+    /// snapshot update compacts the index instead of carrying tombstones.
+    pub compact_threshold: f64,
+    /// Delta-log path: every applied [`SnapshotUpdate`] is appended here as
+    /// one JSON line, and [`QueryEngine::try_new`] replays the file at
+    /// startup so acknowledged updates survive a restart.
+    pub delta_log: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -166,7 +223,115 @@ impl Default for EngineConfig {
             ef_search: 64,
             hnsw: HnswConfig::default(),
             cache_capacity: 0,
+            compact_threshold: 0.25,
+            delta_log: None,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Fluent builder over the defaults; the terminal
+    /// [`build`](EngineConfigBuilder::build) validates, so invalid
+    /// combinations are typed errors instead of runtime panics.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
+    /// Checks the parameters a [`QueryEngine`] would otherwise assert on.
+    pub fn validate(&self) -> Result<(), AneciError> {
+        let bad = |msg: &str| Err(AneciError::Config(msg.into()));
+        if self.default_k == 0 {
+            return bad("default_k must be at least 1");
+        }
+        if self.ef_search == 0 {
+            return bad("ef_search must be at least 1");
+        }
+        if self.hnsw.m < 2 {
+            return bad("hnsw.m must be at least 2");
+        }
+        if self.hnsw.ef_construction == 0 {
+            return bad("hnsw.ef_construction must be at least 1");
+        }
+        if !(0.0..=1.0).contains(&self.compact_threshold) {
+            return bad("compact_threshold must lie in [0, 1]");
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`EngineConfig`], mirroring `AneciConfig::builder()`.
+///
+/// ```
+/// use aneci_serve::engine::EngineConfig;
+/// use aneci_serve::store::Metric;
+///
+/// let cfg = EngineConfig::builder()
+///     .default_k(20)
+///     .default_metric(Metric::Dot)
+///     .use_ann(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.default_k, 20);
+/// assert!(EngineConfig::builder().default_k(0).build().is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// `k` when a top-k query omits it.
+    pub fn default_k(mut self, v: usize) -> Self {
+        self.config.default_k = v;
+        self
+    }
+
+    /// Metric when a top-k query omits it.
+    pub fn default_metric(mut self, v: Metric) -> Self {
+        self.config.default_metric = v;
+        self
+    }
+
+    /// Build the ANN index and answer top-k with it by default.
+    pub fn use_ann(mut self, v: bool) -> Self {
+        self.config.use_ann = v;
+        self
+    }
+
+    /// Layer-0 beam width for ANN searches.
+    pub fn ef_search(mut self, v: usize) -> Self {
+        self.config.ef_search = v;
+        self
+    }
+
+    /// ANN construction parameters.
+    pub fn hnsw(mut self, v: HnswConfig) -> Self {
+        self.config.hnsw = v;
+        self
+    }
+
+    /// LRU response-cache capacity; 0 disables caching.
+    pub fn cache_capacity(mut self, v: usize) -> Self {
+        self.config.cache_capacity = v;
+        self
+    }
+
+    /// ANN ghost fraction that triggers compaction on update.
+    pub fn compact_threshold(mut self, v: f64) -> Self {
+        self.config.compact_threshold = v;
+        self
+    }
+
+    /// Delta-log path for persistence + startup replay.
+    pub fn delta_log(mut self, v: impl Into<PathBuf>) -> Self {
+        self.config.delta_log = Some(v.into());
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    pub fn build(self) -> Result<EngineConfig, AneciError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -177,6 +342,8 @@ struct EngineMetrics {
     query_ns: aneci_obs::Histogram,
     cache_hits: aneci_obs::Counter,
     cache_misses: aneci_obs::Counter,
+    reindexes: aneci_obs::Counter,
+    reindex_ns: aneci_obs::Histogram,
 }
 
 impl EngineMetrics {
@@ -186,42 +353,162 @@ impl EngineMetrics {
             query_ns: aneci_obs::histogram_time_ns("serve.query_ns"),
             cache_hits: aneci_obs::counter("serve.cache.hits"),
             cache_misses: aneci_obs::counter("serve.cache.misses"),
+            reindexes: aneci_obs::counter("serve.reindexes"),
+            reindex_ns: aneci_obs::histogram_time_ns("serve.reindex_ns"),
         }
     }
 }
 
-/// The serving engine: store + optional ANN index + optional response cache.
+/// The serving engine: a swappable [`Snapshot`] (store + optional ANN
+/// index) plus an optional response cache and the reindex machinery.
 pub struct QueryEngine {
-    store: EmbeddingStore,
-    ann: Option<HnswIndex>,
+    snapshot: SnapshotHandle,
     config: EngineConfig,
-    /// Keyed by the raw (trimmed) query line; values are response lines.
-    /// Correct because every handler is deterministic in the query text.
+    /// Keyed by `generation \0 query-line`; values are response lines.
+    /// Correct because every handler is deterministic in (snapshot, query
+    /// text), and the generation prefix retires stale entries on publish.
     cache: Option<Mutex<LruCache<String, String>>>,
+    /// Single-flight guard: only one snapshot rebuild runs at a time.
+    reindexing: AtomicBool,
+    /// Open append handle on `config.delta_log`, when configured.
+    delta_log: Option<Mutex<std::fs::File>>,
     metrics: EngineMetrics,
 }
 
 impl QueryEngine {
     /// Builds an engine over `store`. When `config.use_ann` is set, the HNSW
     /// index is built here, over `config.default_metric`.
+    ///
+    /// # Panics
+    /// Panics if `config.delta_log` is set and replaying or opening it
+    /// fails — use [`Self::try_new`] to handle that as a typed error.
     pub fn new(store: EmbeddingStore, config: EngineConfig) -> Self {
+        Self::try_new(store, config).expect("engine construction failed")
+    }
+
+    /// Builds an engine over `store`, replaying `config.delta_log` (when
+    /// set and present) so every previously acknowledged update is applied
+    /// before the first query, then keeping the log open for appending.
+    pub fn try_new(store: EmbeddingStore, config: EngineConfig) -> Result<Self, AneciError> {
+        config.validate()?;
         let ann = config
             .use_ann
             .then(|| HnswIndex::build(store.embedding(), config.default_metric, &config.hnsw));
         let cache =
             (config.cache_capacity > 0).then(|| Mutex::new(LruCache::new(config.cache_capacity)));
-        Self {
-            store,
-            ann,
+        let mut engine = Self {
+            snapshot: SnapshotHandle::new(store, ann),
             config,
             cache,
+            reindexing: AtomicBool::new(false),
+            delta_log: None,
             metrics: EngineMetrics::new(),
+        };
+        if let Some(path) = engine.config.delta_log.clone() {
+            engine.replay_delta_log(&path)?;
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)?;
+            engine.delta_log = Some(Mutex::new(file));
         }
+        Ok(engine)
     }
 
-    /// The underlying store.
-    pub fn store(&self) -> &EmbeddingStore {
-        &self.store
+    /// Replays a delta log written by a previous run: one
+    /// [`SnapshotUpdate`] JSON object per line, applied in order. Missing
+    /// file = nothing to replay.
+    fn replay_delta_log(&mut self, path: &std::path::Path) -> Result<(), AneciError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let update: SnapshotUpdate = serde_json::from_str(line).map_err(|e| {
+                AneciError::Config(format!(
+                    "delta log {}:{}: bad update: {e}",
+                    path.display(),
+                    lineno + 1
+                ))
+            })?;
+            self.apply_update(&update).map_err(|(_, msg)| {
+                AneciError::Config(format!(
+                    "delta log {}:{}: replay failed: {msg}",
+                    path.display(),
+                    lineno + 1
+                ))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Pins the current serving snapshot (store + ANN + generation): one
+    /// atomic `Arc` clone, never blocked by a concurrent publish.
+    pub fn snapshot(&self) -> std::sync::Arc<Snapshot> {
+        self.snapshot.load()
+    }
+
+    /// The current snapshot generation (0 until the first reindex).
+    pub fn generation(&self) -> u64 {
+        self.snapshot.generation()
+    }
+
+    /// Whether a snapshot rebuild is running right now.
+    pub fn reindex_in_progress(&self) -> bool {
+        self.reindexing.load(Ordering::SeqCst)
+    }
+
+    /// The underlying store, pinned at the current generation.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `snapshot()` to pin a whole generation (store + ANN + generation number)"
+    )]
+    pub fn store(&self) -> StoreGuard {
+        StoreGuard(self.snapshot.load())
+    }
+
+    /// Applies one [`SnapshotUpdate`]: builds the next snapshot off the
+    /// serving path (readers keep answering from the current one), appends
+    /// the update to the delta log, then publishes atomically. Returns the
+    /// new generation.
+    ///
+    /// Only one update builds at a time; a concurrent call fails fast with
+    /// [`ErrorCode::ReindexInProgress`] instead of queueing.
+    pub fn apply_update(&self, update: &SnapshotUpdate) -> Result<u64, (ErrorCode, String)> {
+        if self.reindexing.swap(true, Ordering::SeqCst) {
+            return Err((
+                ErrorCode::ReindexInProgress,
+                "a reindex is already in progress; retry after it publishes".into(),
+            ));
+        }
+        let result = self.build_and_publish(update);
+        self.reindexing.store(false, Ordering::SeqCst);
+        result
+    }
+
+    fn build_and_publish(&self, update: &SnapshotUpdate) -> Result<u64, (ErrorCode, String)> {
+        let start = std::time::Instant::now();
+        let snap = self.snapshot.load();
+        let (store, ann) = build_next_snapshot(&snap, update, &self.config)?;
+        if let Some(log) = &self.delta_log {
+            let line = serde_json::to_string(update).expect("update serialization cannot fail");
+            let mut file = log.lock().unwrap_or_else(|p| p.into_inner());
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .and_then(|()| file.flush())
+                .map_err(|e| (ErrorCode::Internal, format!("delta log append failed: {e}")))?;
+        }
+        let generation = self.snapshot.publish(store, ann);
+        self.metrics
+            .reindex_ns
+            .observe(start.elapsed().as_nanos() as f64);
+        self.metrics.reindexes.inc();
+        Ok(generation)
     }
 
     /// `(hits, misses)` of the response cache (zeros when disabled).
@@ -235,8 +522,26 @@ impl QueryEngine {
         }
     }
 
-    /// Executes one parsed query.
+    /// Executes one parsed query against the current snapshot.
     pub fn run(&self, query: &Query) -> Response {
+        let snap = self.snapshot.load();
+        self.run_on(&snap, query)
+    }
+
+    /// Executes one parsed query against a pinned snapshot — the whole
+    /// query reads one generation, never a mix.
+    fn run_on(&self, snap: &Snapshot, query: &Query) -> Response {
+        if let Some(min) = query.min_generation() {
+            if snap.generation < min {
+                return err(
+                    ErrorCode::SnapshotStale,
+                    format!(
+                        "snapshot generation {} is older than the requested min_generation {min}",
+                        snap.generation
+                    ),
+                );
+            }
+        }
         match query {
             Query::TopK {
                 node,
@@ -244,14 +549,17 @@ impl QueryEngine {
                 k,
                 metric,
                 ann,
-            } => self.run_top_k(*node, vector.as_deref(), *k, metric.as_deref(), *ann),
-            Query::Community { node } => self.run_community(*node),
-            Query::EdgeScore { u, v } => self.run_edge_score(*u, *v),
+                ..
+            } => self.run_top_k(snap, *node, vector.as_deref(), *k, metric.as_deref(), *ann),
+            Query::Community { node, .. } => run_community(snap, *node),
+            Query::EdgeScore { u, v, .. } => run_edge_score(snap, *u, *v),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_top_k(
         &self,
+        snap: &Snapshot,
         node: Option<usize>,
         vector: Option<&[f64]>,
         k: Option<usize>,
@@ -286,26 +594,26 @@ impl QueryEngine {
                 )
             }
             (Some(n), None) => {
-                if n >= self.store.num_nodes() {
+                if n >= snap.store.num_nodes() || snap.store.is_deleted(n) {
                     return err(
                         ErrorCode::NotFound,
                         format!(
                             "node {n} out of range (store has {} nodes)",
-                            self.store.num_nodes()
+                            snap.store.num_nodes()
                         ),
                     );
                 }
-                owned = self.store.vector_of(n).to_vec();
+                owned = snap.store.vector_of(n).to_vec();
                 (&owned, Some(n))
             }
             (None, Some(v)) => {
-                if v.len() != self.store.dim() {
+                if v.len() != snap.store.dim() {
                     return err(
                         ErrorCode::BadRequest,
                         format!(
                             "vector has {} dims, store embeds in {}",
                             v.len(),
-                            self.store.dim()
+                            snap.store.dim()
                         ),
                     );
                 }
@@ -316,13 +624,13 @@ impl QueryEngine {
         // ANN only answers the metric it was built for; anything else falls
         // back to the exact path (correctness over speed).
         let want_ann = ann.unwrap_or(self.config.use_ann);
-        let index = self
+        let index = snap
             .ann
             .as_ref()
             .filter(|idx| want_ann && idx.metric() == metric);
         let (hits, exact) = match index {
             Some(idx) => (idx.search(query, k, self.config.ef_search, exclude), false),
-            None => (self.store.top_k(query, k, metric, exclude), true),
+            None => (snap.store.top_k(query, k, metric, exclude), true),
         };
         Response::Neighbors {
             neighbors: hits
@@ -334,53 +642,20 @@ impl QueryEngine {
         }
     }
 
-    fn run_community(&self, node: usize) -> Response {
-        if node >= self.store.num_nodes() {
-            return err(
-                ErrorCode::NotFound,
-                format!(
-                    "node {node} out of range (store has {} nodes)",
-                    self.store.num_nodes()
-                ),
-            );
-        }
-        match (self.store.community(node), self.store.membership_row(node)) {
-            (Some(community), Some(row)) => Response::Community {
-                node,
-                community,
-                membership: row.to_vec(),
-            },
-            _ => err(
-                ErrorCode::NotFound,
-                "store was built without community membership",
-            ),
-        }
-    }
-
-    fn run_edge_score(&self, u: usize, v: usize) -> Response {
-        let n = self.store.num_nodes();
-        if u >= n || v >= n {
-            return err(
-                ErrorCode::NotFound,
-                format!("edge ({u}, {v}) out of range (store has {n} nodes)"),
-            );
-        }
-        Response::EdgeScore {
-            u,
-            v,
-            score: self.store.edge_score(u, v),
-        }
-    }
-
     /// Parses and executes one JSONL line, returning the serialized
     /// response line. Never panics on malformed input. Consults the LRU
-    /// cache first when enabled.
+    /// cache first when enabled; the snapshot is pinned once, so the line
+    /// is answered wholly from one generation.
     pub fn run_line(&self, line: &str) -> String {
         let start = std::time::Instant::now();
         self.metrics.queries.inc();
-        let key = line.trim();
+        let snap = self.snapshot.load();
+        // The generation prefix keys cached responses to the snapshot they
+        // were computed from: entries of retired generations can never hit
+        // again and age out of the LRU naturally.
+        let key = format!("{}\u{0}{}", snap.generation, line.trim());
         if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.lock().unwrap().get(&key.to_string()).cloned() {
+            if let Some(hit) = cache.lock().unwrap().get(&key).cloned() {
                 self.metrics.cache_hits.inc();
                 self.metrics
                     .query_ns
@@ -389,13 +664,13 @@ impl QueryEngine {
             }
             self.metrics.cache_misses.inc();
         }
-        let response = match serde_json::from_str::<Query>(key) {
-            Ok(q) => self.run(&q),
-            Err(e) => err(ErrorCode::BadRequest, format!("bad query: {e}")),
+        let response = match Query::parse(line) {
+            Ok(q) => self.run_on(&snap, &q),
+            Err(error_response) => error_response,
         };
         let out = serde_json::to_string(&response).expect("response serialization cannot fail");
         if let Some(cache) = &self.cache {
-            cache.lock().unwrap().put(key.to_string(), out.clone());
+            cache.lock().unwrap().put(key, out.clone());
         }
         self.metrics
             .query_ns
@@ -420,6 +695,137 @@ impl QueryEngine {
         });
         chunks.into_iter().flatten().collect()
     }
+}
+
+fn run_community(snap: &Snapshot, node: usize) -> Response {
+    if node >= snap.store.num_nodes() || snap.store.is_deleted(node) {
+        return err(
+            ErrorCode::NotFound,
+            format!(
+                "node {node} out of range (store has {} nodes)",
+                snap.store.num_nodes()
+            ),
+        );
+    }
+    match (snap.store.community(node), snap.store.membership_row(node)) {
+        (Some(community), Some(row)) => Response::Community {
+            node,
+            community,
+            membership: row.to_vec(),
+        },
+        _ => err(
+            ErrorCode::NotFound,
+            "store was built without community membership (or the node has none yet)",
+        ),
+    }
+}
+
+fn run_edge_score(snap: &Snapshot, u: usize, v: usize) -> Response {
+    let n = snap.store.num_nodes();
+    if u >= n || v >= n || snap.store.is_deleted(u) || snap.store.is_deleted(v) {
+        return err(
+            ErrorCode::NotFound,
+            format!("edge ({u}, {v}) out of range (store has {n} nodes)"),
+        );
+    }
+    Response::EdgeScore {
+        u,
+        v,
+        score: snap.store.edge_score(u, v),
+    }
+}
+
+/// Builds the successor state of `snap` under `update`: upserts applied in
+/// order (appends must be contiguous), then deletes, with the ANN index
+/// updated incrementally and compacted once its ghost fraction crosses
+/// `config.compact_threshold`.
+fn build_next_snapshot(
+    snap: &Snapshot,
+    update: &SnapshotUpdate,
+    config: &EngineConfig,
+) -> Result<(EmbeddingStore, Option<HnswIndex>), (ErrorCode, String)> {
+    let bad = |code: ErrorCode, msg: String| Err((code, msg));
+    let old = &snap.store;
+    let dim = old.dim();
+    let mut rows = old.num_nodes();
+    for up in &update.upserts {
+        if up.vector.len() != dim {
+            return bad(
+                ErrorCode::BadRequest,
+                format!(
+                    "upsert of node {} has {} dims, store embeds in {dim}",
+                    up.node,
+                    up.vector.len()
+                ),
+            );
+        }
+        if up.node > rows {
+            return bad(
+                ErrorCode::BadRequest,
+                format!(
+                    "upsert of node {} is a non-contiguous append (next id is {rows})",
+                    up.node
+                ),
+            );
+        }
+        if up.node == rows {
+            rows += 1;
+        }
+    }
+    for &d in &update.deletes {
+        if d >= rows {
+            return bad(
+                ErrorCode::NotFound,
+                format!("delete of node {d} out of range ({rows} nodes after upserts)"),
+            );
+        }
+    }
+
+    // Embedding + tombstone mask.
+    let mut data = old.embedding().as_slice().to_vec();
+    data.resize(rows * dim, 0.0);
+    let mut deleted: Vec<bool> = match old.deleted_mask() {
+        Some(m) => m.to_vec(),
+        None => vec![false; old.num_nodes()],
+    };
+    deleted.resize(rows, false);
+    for up in &update.upserts {
+        data[up.node * dim..(up.node + 1) * dim].copy_from_slice(&up.vector);
+        deleted[up.node] = false; // an upsert revives a tombstoned id
+    }
+    for &d in &update.deletes {
+        deleted[d] = true;
+    }
+    let embedding = DenseMatrix::from_vec(rows, dim, data);
+
+    // Membership rows for appended nodes are zero (unassigned) until the
+    // model is retrained; `community` reports them as absent.
+    let membership = old.membership().map(|m| {
+        let mut md = m.as_slice().to_vec();
+        md.resize(rows * m.cols(), 0.0);
+        DenseMatrix::from_vec(rows, m.cols(), md)
+    });
+    let store = EmbeddingStore::with_tombstones(embedding, membership, Some(deleted));
+
+    // Incremental ANN maintenance on a clone of the pinned index.
+    let ann = snap.ann.as_ref().map(|index| {
+        let mut ann = index.clone();
+        for up in &update.upserts {
+            if up.node < ann.len() {
+                ann.update(up.node, &up.vector);
+            } else {
+                ann.insert(&up.vector);
+            }
+        }
+        for &d in &update.deletes {
+            ann.remove(d);
+        }
+        if !ann.is_empty() && ann.ghosts() as f64 > config.compact_threshold * ann.len() as f64 {
+            ann.compact();
+        }
+        ann
+    });
+    Ok((store, ann))
 }
 
 fn err(code: ErrorCode, message: impl Into<String>) -> Response {
@@ -457,7 +863,7 @@ mod tests {
                 assert!(exact);
                 assert!(neighbors.iter().all(|n| n.node != 7));
                 // Engine answer equals a direct store call.
-                let direct = e.store().top_k_node(7, 3, Metric::Cosine);
+                let direct = e.snapshot().store.top_k_node(7, 3, Metric::Cosine);
                 for (nb, (id, score)) in neighbors.iter().zip(direct) {
                     assert_eq!(nb.node, id);
                     assert_eq!(nb.score, score);
@@ -470,7 +876,7 @@ mod tests {
     #[test]
     fn free_vector_and_metric_override() {
         let e = engine(EngineConfig::default());
-        let v: Vec<f64> = e.store().vector_of(0).to_vec();
+        let v: Vec<f64> = e.snapshot().store.vector_of(0).to_vec();
         let line = format!(
             r#"{{"op":"top_k","vector":{},"k":2,"metric":"dot"}}"#,
             serde_json::to_string(&v).unwrap()
@@ -531,7 +937,7 @@ mod tests {
             Response::EdgeScore { score, .. } => {
                 assert_eq!(
                     score,
-                    aneci_eval::linkpred::edge_score(e.store().embedding(), 3, 9),
+                    aneci_eval::linkpred::edge_score(e.snapshot().store.embedding(), 3, 9),
                     "serve-time edge score must equal the eval scorer"
                 );
             }
@@ -622,5 +1028,172 @@ mod tests {
         for (line, resp) in lines.iter().zip(&multi) {
             assert_eq!(&e.run_line(line), resp);
         }
+    }
+
+    #[test]
+    fn apply_update_bumps_generation_and_mutates_the_store() {
+        let e = engine(EngineConfig::default());
+        assert_eq!(e.generation(), 0);
+        let dim = e.snapshot().store.dim();
+        let update = SnapshotUpdate::new()
+            .upsert(3, vec![9.0; dim]) // rewrite
+            .upsert(120, vec![1.5; dim]) // contiguous append
+            .delete(7);
+        let generation = e.apply_update(&update).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(e.generation(), 1);
+
+        let snap = e.snapshot();
+        assert_eq!(snap.store.num_nodes(), 121);
+        assert_eq!(snap.store.num_live(), 120);
+        assert_eq!(snap.store.vector_of(3), &vec![9.0; dim][..]);
+        assert!(snap.store.is_deleted(7));
+        // Deleted node answers NotFound; appended node serves but has no
+        // community yet.
+        let resp: Response =
+            serde_json::from_str(&e.run_line(r#"{"op":"top_k","node":7,"k":3}"#)).unwrap();
+        assert_eq!(resp.error_code(), Some(ErrorCode::NotFound));
+        let resp: Response =
+            serde_json::from_str(&e.run_line(r#"{"op":"community","node":120}"#)).unwrap();
+        assert_eq!(resp.error_code(), Some(ErrorCode::NotFound));
+        let resp: Response =
+            serde_json::from_str(&e.run_line(r#"{"op":"top_k","node":120,"k":3}"#)).unwrap();
+        assert!(matches!(resp, Response::Neighbors { .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn apply_update_rejects_bad_shapes_without_publishing() {
+        let e = engine(EngineConfig::default());
+        let dim = e.snapshot().store.dim();
+        let (code, _) = e
+            .apply_update(&SnapshotUpdate::new().upsert(0, vec![1.0; dim + 1]))
+            .unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+        let (code, _) = e
+            .apply_update(&SnapshotUpdate::new().upsert(500, vec![1.0; dim]))
+            .unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest, "non-contiguous append");
+        let (code, _) = e
+            .apply_update(&SnapshotUpdate::new().delete(99999))
+            .unwrap_err();
+        assert_eq!(code, ErrorCode::NotFound);
+        assert_eq!(e.generation(), 0, "failed updates must not publish");
+    }
+
+    #[test]
+    fn min_generation_gates_reads_until_the_snapshot_catches_up() {
+        let e = engine(EngineConfig::default());
+        let stale = r#"{"op":"top_k","node":0,"k":3,"min_generation":1}"#;
+        let resp: Response = serde_json::from_str(&e.run_line(stale)).unwrap();
+        assert_eq!(resp.error_code(), Some(ErrorCode::SnapshotStale));
+
+        e.apply_update(&SnapshotUpdate::new()).unwrap();
+        let resp: Response = serde_json::from_str(&e.run_line(stale)).unwrap();
+        assert!(matches!(resp, Response::Neighbors { .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn concurrent_reindex_fails_fast_with_conflict() {
+        // Claim the reindex slot by hand, then observe apply_update refuse.
+        let e = engine(EngineConfig::default());
+        assert!(!e.reindex_in_progress());
+        e.reindexing.store(true, Ordering::SeqCst);
+        assert!(e.reindex_in_progress());
+        let (code, _) = e.apply_update(&SnapshotUpdate::new()).unwrap_err();
+        assert_eq!(code, ErrorCode::ReindexInProgress);
+        e.reindexing.store(false, Ordering::SeqCst);
+        assert!(e.apply_update(&SnapshotUpdate::new()).is_ok());
+    }
+
+    #[test]
+    fn cache_entries_are_keyed_by_generation() {
+        let e = engine(EngineConfig {
+            cache_capacity: 16,
+            ..EngineConfig::default()
+        });
+        let dim = e.snapshot().store.dim();
+        let line = r#"{"op":"top_k","node":0,"k":3}"#;
+        let before = e.run_line(line);
+        // Rewriting node 0 changes its neighbors; a stale cache entry from
+        // generation 0 must not answer for generation 1.
+        e.apply_update(&SnapshotUpdate::new().upsert(0, vec![-4.0; dim]))
+            .unwrap();
+        let after = e.run_line(line);
+        assert_ne!(before, after);
+        // Re-asking at the new generation hits the cache and agrees.
+        assert_eq!(e.run_line(line), after);
+    }
+
+    #[test]
+    fn ann_index_tracks_updates_and_keeps_answering() {
+        let e = engine(EngineConfig {
+            use_ann: true,
+            compact_threshold: 0.01, // force a compaction below
+            ..EngineConfig::default()
+        });
+        let dim = e.snapshot().store.dim();
+        let update = SnapshotUpdate::new()
+            .upsert(120, vec![0.25; dim])
+            .delete(5)
+            .delete(6)
+            .delete(7);
+        e.apply_update(&update).unwrap();
+        let snap = e.snapshot();
+        let ann = snap.ann.as_ref().unwrap();
+        assert_eq!(ann.len(), 121);
+        assert_eq!(ann.ghosts(), 0, "threshold 0.01 must have compacted");
+        let resp: Response =
+            serde_json::from_str(&e.run_line(r#"{"op":"top_k","node":0,"k":5}"#)).unwrap();
+        match resp {
+            Response::Neighbors {
+                neighbors, exact, ..
+            } => {
+                assert!(!exact);
+                assert!(neighbors.iter().all(|n| ![5usize, 6, 7].contains(&n.node)));
+            }
+            other => panic!("expected neighbors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_log_replays_acknowledged_updates_on_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "aneci-delta-log-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("deltas.jsonl");
+        let _ = std::fs::remove_file(&log);
+
+        let build_store = || {
+            let z = gaussian_matrix(40, 4, 1.0, &mut seeded_rng(11));
+            EmbeddingStore::new(z, None)
+        };
+        let config = EngineConfig::builder()
+            .delta_log(log.clone())
+            .build()
+            .unwrap();
+
+        let e = QueryEngine::try_new(build_store(), config.clone()).unwrap();
+        e.apply_update(&SnapshotUpdate::new().upsert(40, vec![1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
+        e.apply_update(&SnapshotUpdate::new().delete(3)).unwrap();
+        assert_eq!(e.generation(), 2);
+        let expected = e.run_line(r#"{"op":"top_k","node":40,"k":3}"#);
+        drop(e);
+
+        // A fresh engine over the same base store replays the log and lands
+        // on the same state (modulo the cache, which is generation-keyed).
+        let revived = QueryEngine::try_new(build_store(), config).unwrap();
+        assert_eq!(revived.generation(), 2);
+        assert_eq!(revived.snapshot().store.num_nodes(), 41);
+        assert!(revived.snapshot().store.is_deleted(3));
+        assert_eq!(
+            revived.run_line(r#"{"op":"top_k","node":40,"k":3}"#),
+            expected
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

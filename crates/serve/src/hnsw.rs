@@ -36,6 +36,7 @@ use aneci_linalg::pool;
 use aneci_linalg::rng::seeded_rng;
 use aneci_linalg::vector;
 use aneci_linalg::DenseMatrix;
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Nodes inserted per frozen-graph batch during construction. Larger batches
@@ -100,7 +101,10 @@ impl PartialOrd for Cand {
     }
 }
 
-/// The built index.
+/// The built index. Cloning is a deep copy (vectors + link lists) — the
+/// snapshot-swap path clones the live index, mutates the clone off to the
+/// side, and publishes it atomically.
+#[derive(Clone)]
 pub struct HnswIndex {
     /// Row-per-node vectors; L2-normalized copies when `metric == Cosine`.
     vectors: DenseMatrix,
@@ -111,6 +115,21 @@ pub struct HnswIndex {
     entry: u32,
     max_layer: usize,
     m: usize,
+    /// Beam width for incremental inserts/updates (the build-time value).
+    ef_construction: usize,
+    /// Seed the level stream was started from; [`Self::compact`] redraws
+    /// the whole stream from here so rebuilt levels are deterministic.
+    seed: u64,
+    /// Level RNG positioned after the last drawn level, so incremental
+    /// inserts continue the same stream a bigger build would have consumed.
+    level_rng: StdRng,
+    /// Tombstones: `deleted[id]` nodes are filtered from every search
+    /// result but stay in the graph for navigation until [`Self::compact`].
+    deleted: Vec<bool>,
+    /// Deleted nodes still wired into the graph. Searches over-provision
+    /// their beam by this much so recall over live nodes is preserved;
+    /// `compact` resets it to zero.
+    ghosts: usize,
 }
 
 impl HnswIndex {
@@ -135,6 +154,11 @@ impl HnswIndex {
             entry: 0,
             max_layer: 0,
             m: config.m,
+            ef_construction: config.ef_construction,
+            seed: config.seed,
+            level_rng: seeded_rng(config.seed),
+            deleted: vec![false; n],
+            ghosts: 0,
         };
         if n == 0 {
             return index;
@@ -142,16 +166,8 @@ impl HnswIndex {
 
         // Levels are drawn up front in node order — the same RNG stream the
         // old sequential build consumed, so a given seed assigns the same
-        // levels either way.
-        let level_mult = 1.0 / (config.m as f64).ln();
-        let mut rng = seeded_rng(config.seed);
-        let levels: Vec<usize> = (0..n)
-            .map(|_| {
-                // u ∈ (0, 1]: never take ln(0).
-                let u: f64 = 1.0 - rng.gen::<f64>();
-                ((-u.ln() * level_mult).floor() as usize).min(16)
-            })
-            .collect();
+        // levels either way, and incremental inserts continue it.
+        let levels: Vec<usize> = (0..n).map(|_| index.draw_level()).collect();
 
         // The first node has no graph to search: it just becomes the entry.
         index.links.push(vec![Vec::new(); levels[0] + 1]);
@@ -179,7 +195,7 @@ impl HnswIndex {
         index
     }
 
-    /// Number of indexed nodes.
+    /// Number of indexed node slots, tombstoned ones included.
     pub fn len(&self) -> usize {
         self.links.len()
     }
@@ -189,9 +205,34 @@ impl HnswIndex {
         self.links.is_empty()
     }
 
+    /// Number of live (non-tombstoned) nodes.
+    pub fn live(&self) -> usize {
+        self.links.len() - self.deleted.iter().filter(|&&d| d).count()
+    }
+
+    /// Whether `id` is tombstoned.
+    pub fn is_deleted(&self, id: usize) -> bool {
+        self.deleted.get(id).copied().unwrap_or(false)
+    }
+
+    /// Tombstoned nodes still wired into the navigation graph (reset to
+    /// zero by [`Self::compact`]). Searches widen their beam by this much,
+    /// so a large ghost count is the signal to compact.
+    pub fn ghosts(&self) -> usize {
+        self.ghosts
+    }
+
     /// The metric the index was built for.
     pub fn metric(&self) -> Metric {
         self.metric
+    }
+
+    /// One geometric level draw from the stored stream.
+    fn draw_level(&mut self) -> usize {
+        let level_mult = 1.0 / (self.m as f64).ln();
+        // u ∈ (0, 1]: never take ln(0).
+        let u: f64 = 1.0 - self.level_rng.gen::<f64>();
+        ((-u.ln() * level_mult).floor() as usize).min(16)
     }
 
     /// Similarity between a (pre-normalized, for cosine) query and a stored
@@ -254,11 +295,27 @@ impl HnswIndex {
     /// Mutating half of an insert: wires `node` into the graph from the
     /// candidate lists produced by [`Self::search_candidates`].
     fn apply_insert(&mut self, node: u32, level: usize, per_layer: &[Vec<Cand>]) {
-        self.links.push(vec![Vec::new(); level + 1]);
+        self.links.push(Vec::new());
+        self.place(node, level, per_layer);
+    }
+
+    /// Wires `node` (whose `links` slot already exists) into the graph at
+    /// `level`, replacing any links the slot previously held.
+    fn place(&mut self, node: u32, level: usize, per_layer: &[Vec<Cand>]) {
+        self.links[node as usize] = vec![Vec::new(); level + 1];
         let top = per_layer.len() - 1;
         for (i, found) in per_layer.iter().enumerate() {
             let l = top - i;
-            let chosen = self.select_neighbors(found, self.m);
+            // A node never links to itself (candidates can contain `node`
+            // when re-wiring an existing id in `update`), and a link at
+            // layer `l` needs both endpoints to exist there (a borrowed
+            // search entry in `update` may live only on lower layers).
+            let cands: Vec<Cand> = found
+                .iter()
+                .filter(|c| c.id != node && self.links[c.id as usize].len() > l)
+                .copied()
+                .collect();
+            let chosen = self.select_neighbors(&cands, self.m);
             for &nb in &chosen {
                 self.links[node as usize][l].push(nb);
                 self.links[nb as usize][l].push(node);
@@ -272,6 +329,131 @@ impl HnswIndex {
         if level > self.max_layer {
             self.entry = node;
             self.max_layer = level;
+        }
+    }
+
+    /// Inserts one new vector, returning its assigned id (`self.len() - 1`
+    /// before the call). The level comes from the same seeded stream the
+    /// build consumed, so "build n, insert m" draws the levels a build of
+    /// `n + m` rows would. Cost: one `ef_construction` beam search plus an
+    /// O(n·d) vector-matrix copy.
+    pub fn insert(&mut self, vector: &[f64]) -> usize {
+        assert_eq!(
+            vector.len(),
+            self.vectors.cols(),
+            "insert dimension mismatch"
+        );
+        let id = self.links.len() as u32;
+        let (rows, cols) = (self.vectors.rows(), self.vectors.cols());
+        let mut data = std::mem::replace(&mut self.vectors, DenseMatrix::zeros(0, 0)).into_vec();
+        data.extend_from_slice(vector);
+        self.vectors = DenseMatrix::from_vec(rows + 1, cols, data);
+        if self.metric == Metric::Cosine {
+            vector::normalize_inplace(self.vectors.row_mut(rows));
+        }
+        self.deleted.push(false);
+        let level = self.draw_level();
+        if id == 0 {
+            self.links.push(vec![Vec::new(); level + 1]);
+            self.entry = 0;
+            self.max_layer = level;
+            return 0;
+        }
+        let per_layer = self.search_candidates(id, level, self.ef_construction);
+        self.apply_insert(id, level, &per_layer);
+        id as usize
+    }
+
+    /// Tombstones `id`: it disappears from every search result immediately
+    /// but stays wired into the graph for navigation until [`Self::compact`].
+    /// Returns `false` when `id` is out of range or already deleted.
+    pub fn remove(&mut self, id: usize) -> bool {
+        if id >= self.links.len() || self.deleted[id] {
+            return false;
+        }
+        self.deleted[id] = true;
+        self.ghosts += 1;
+        true
+    }
+
+    /// Replaces the vector of an existing id and re-wires it at its current
+    /// level: old links are detached on both sides, then the node is
+    /// re-inserted from a fresh candidate search. A tombstoned id is
+    /// revived.
+    pub fn update(&mut self, id: usize, vector: &[f64]) {
+        assert!(id < self.links.len(), "update of unknown id {id}");
+        assert_eq!(
+            vector.len(),
+            self.vectors.cols(),
+            "update dimension mismatch"
+        );
+        if self.deleted[id] {
+            self.deleted[id] = false;
+            self.ghosts -= 1;
+        }
+        let node = id as u32;
+        // Detach both directions.
+        for layer in 0..self.links[id].len() {
+            for nb in std::mem::take(&mut self.links[id][layer]) {
+                self.links[nb as usize][layer].retain(|&x| x != node);
+            }
+        }
+        self.vectors.row_mut(id).copy_from_slice(vector);
+        if self.metric == Metric::Cosine {
+            vector::normalize_inplace(self.vectors.row_mut(id));
+        }
+        if self.links.len() == 1 {
+            return;
+        }
+        let level = self.links[id].len() - 1;
+        // The detached node can't be its own search entry; borrow another
+        // one for the candidate search if it is.
+        let saved_entry = self.entry;
+        if self.entry == node {
+            if let Some(alt) = (0..self.links.len()).find(|&i| i != id && !self.deleted[i]) {
+                self.entry = alt as u32;
+            } else {
+                return; // every other node is tombstoned: leave it detached
+            }
+        }
+        let per_layer = self.search_candidates(node, level, self.ef_construction);
+        self.place(node, level, &per_layer);
+        self.entry = saved_entry;
+    }
+
+    /// Rebuilds the link structure over live nodes only, dropping every
+    /// tombstone from the graph (ids stay stable; tombstoned slots keep
+    /// their `deleted` mark and simply become unreachable). Levels are
+    /// redrawn deterministically from the stored seed, so two indexes with
+    /// the same (seed, live set) compact to identical graphs.
+    pub fn compact(&mut self) {
+        if self.ghosts == 0 {
+            return;
+        }
+        let n = self.links.len();
+        let mut rng = seeded_rng(self.seed);
+        let level_mult = 1.0 / (self.m as f64).ln();
+        let levels: Vec<usize> = (0..n)
+            .map(|_| {
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                ((-u.ln() * level_mult).floor() as usize).min(16)
+            })
+            .collect();
+        self.level_rng = rng;
+        self.links = vec![Vec::new(); n];
+        self.max_layer = 0;
+        self.ghosts = 0;
+        let live: Vec<usize> = (0..n).filter(|&i| !self.deleted[i]).collect();
+        let Some(&first) = live.first() else {
+            self.entry = 0;
+            return;
+        };
+        self.links[first] = vec![Vec::new(); levels[first] + 1];
+        self.entry = first as u32;
+        self.max_layer = levels[first];
+        for &id in &live[1..] {
+            let per_layer = self.search_candidates(id as u32, levels[id], self.ef_construction);
+            self.place(id as u32, levels[id], &per_layer);
         }
     }
 
@@ -404,8 +586,10 @@ impl HnswIndex {
         for layer in (1..=self.max_layer).rev() {
             ep = self.search_layer(&q, &ep, 1, layer, &mut hops);
         }
-        // One extra beam slot covers a possible excluded id.
-        let beam = ef.max(k) + usize::from(exclude.is_some());
+        // One extra beam slot covers a possible excluded id; `ghosts` more
+        // cover tombstones still wired into the graph, so filtering them
+        // out below cannot cost live recall.
+        let beam = ef.max(k) + usize::from(exclude.is_some()) + self.ghosts;
         let found = self.search_layer(&q, &ep, beam, 0, &mut hops);
         // Search is deterministic, and hop totals add commutatively, so
         // these counters stay in the deterministic snapshot view.
@@ -413,7 +597,7 @@ impl HnswIndex {
         search_metrics().1.inc();
         found
             .into_iter()
-            .filter(|c| Some(c.id as usize) != exclude)
+            .filter(|c| Some(c.id as usize) != exclude && !self.deleted[c.id as usize])
             .take(k)
             .map(|c| (c.id as usize, c.sim))
             .collect()
@@ -531,6 +715,126 @@ mod tests {
         let idx = HnswIndex::build(&empty, Metric::Cosine, &HnswConfig::default());
         assert!(idx.is_empty());
         assert!(idx.search(&[0.0; 3], 5, 10, None).is_empty());
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch_levels_and_keeps_recall() {
+        let data = clustered(6, 40, 12, 4);
+        let cfg = HnswConfig::default();
+        // Build over the first 200 rows, insert the remaining 40.
+        let head = DenseMatrix::from_fn(200, 12, |r, c| data.get(r, c));
+        let mut index = HnswIndex::build(&head, Metric::Cosine, &cfg);
+        for r in 200..data.rows() {
+            let id = index.insert(data.row(r));
+            assert_eq!(id, r);
+        }
+        assert_eq!(index.len(), data.rows());
+
+        let store = EmbeddingStore::new(data.clone(), None);
+        let mut total = 0.0;
+        let queries = 40;
+        for qi in 0..queries {
+            let node = qi * 7 % data.rows();
+            let exact = store.top_k_node(node, 10, Metric::Cosine);
+            let approx = index.search(data.row(node), 10, 64, Some(node));
+            total += recall_at_k(&exact, &approx);
+        }
+        let recall = total / queries as f64;
+        assert!(recall >= 0.95, "post-insert recall@10 = {recall}");
+    }
+
+    #[test]
+    fn remove_tombstones_and_compact_preserve_recall() {
+        let data = clustered(6, 40, 12, 5);
+        let cfg = HnswConfig::default();
+        let mut index = HnswIndex::build(&data, Metric::Cosine, &cfg);
+        // Delete 20% of the nodes.
+        let removed: Vec<usize> = (0..data.rows()).filter(|i| i % 5 == 0).collect();
+        for &id in &removed {
+            assert!(index.remove(id));
+            assert!(!index.remove(id), "double-remove must report false");
+        }
+        assert_eq!(index.ghosts(), removed.len());
+        assert_eq!(index.live(), data.rows() - removed.len());
+
+        // Exact reference over the live set only.
+        let check = |index: &HnswIndex| {
+            let store = EmbeddingStore::new(data.clone(), None);
+            let mut total = 0.0;
+            let queries = 30;
+            for qi in 0..queries {
+                let node = qi * 11 % data.rows();
+                let exact: Vec<Scored> = store
+                    .top_k_node(node, 10 + removed.len(), Metric::Cosine)
+                    .into_iter()
+                    .filter(|&(id, _)| !removed.contains(&id))
+                    .take(10)
+                    .collect();
+                let approx = index.search(data.row(node), 10, 64, Some(node));
+                assert!(
+                    approx.iter().all(|&(id, _)| !removed.contains(&id)),
+                    "tombstoned id in results"
+                );
+                total += recall_at_k(&exact, &approx);
+            }
+            total / queries as f64
+        };
+        let recall = check(&index);
+        assert!(recall >= 0.95, "post-delete recall@10 = {recall}");
+
+        index.compact();
+        assert_eq!(index.ghosts(), 0);
+        assert_eq!(index.live(), data.rows() - removed.len());
+        let recall = check(&index);
+        assert!(recall >= 0.95, "post-compact recall@10 = {recall}");
+
+        // Compaction is deterministic in (seed, live set).
+        let mut other = HnswIndex::build(&data, Metric::Cosine, &cfg);
+        for &id in &removed {
+            other.remove(id);
+        }
+        other.compact();
+        assert_eq!(index.links, other.links);
+        assert_eq!(index.entry, other.entry);
+    }
+
+    #[test]
+    fn update_rewires_and_revives() {
+        let data = clustered(4, 30, 8, 6);
+        let mut index = HnswIndex::build(&data, Metric::Cosine, &HnswConfig::default());
+        // Move node 5 exactly onto node 77's vector: it must become 77's
+        // nearest neighbor.
+        index.update(5, data.row(77));
+        let hits = index.search(data.row(77), 3, 64, Some(77));
+        assert_eq!(hits[0].0, 5, "updated node should be the top hit");
+        assert!((hits[0].1 - 1.0).abs() < 1e-12);
+
+        // A removed node revived by update serves again.
+        index.remove(9);
+        assert!(index
+            .search(data.row(9), 120, 256, None)
+            .iter()
+            .all(|&(id, _)| id != 9));
+        index.update(9, data.row(9));
+        assert_eq!(index.ghosts(), 0);
+        let hits = index.search(data.row(9), 1, 64, None);
+        assert_eq!(hits[0].0, 9);
+    }
+
+    #[test]
+    fn single_node_index_survives_incremental_ops() {
+        let one = DenseMatrix::from_vec(1, 3, vec![1.0, 0.0, 0.0]);
+        let mut idx = HnswIndex::build(&one, Metric::Cosine, &HnswConfig::default());
+        idx.update(0, &[0.0, 1.0, 0.0]);
+        let id = idx.insert(&[0.0, 0.9, 0.1]);
+        assert_eq!(id, 1);
+        let hits = idx.search(&[0.0, 1.0, 0.0], 2, 10, None);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 0);
+        idx.remove(0);
+        let hits = idx.search(&[0.0, 1.0, 0.0], 2, 10, None);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 1);
     }
 
     #[test]

@@ -25,18 +25,23 @@
 //!   cap. Idle waits poll in short ticks so shutdown is never held hostage
 //!   by a silent connection.
 //! * **Graceful shutdown** — triggered by [`ServerHandle::shutdown`] or the
-//!   `POST /shutdown` route: the acceptor stops, in-flight requests finish,
-//!   queued connections are drained (served with `Connection: close`), and
-//!   all threads join.
-//! * **Routes** — `GET /healthz`, `GET /metrics` (an `aneci-obs` snapshot),
-//!   `POST /query` (one JSON query, the JSONL line shape), `POST
-//!   /query_batch` (newline-delimited queries in, newline-delimited
-//!   responses out, per-line errors in place), `POST /shutdown`.
+//!   `POST /v1/admin/shutdown` route: the acceptor stops, in-flight
+//!   requests finish, queued connections are drained (served with
+//!   `Connection: close`), and all threads join.
+//! * **Routes (versioned under `/v1`)** — `GET /v1/healthz` (status, node
+//!   counts, snapshot generation, reindex flag), `GET /v1/metrics` (an
+//!   `aneci-obs` snapshot), `POST /v1/query` (one JSON query, the JSONL
+//!   line shape), `POST /v1/query_batch` (newline-delimited queries in,
+//!   newline-delimited responses out, per-line errors in place), `POST
+//!   /v1/admin/reindex` (a [`SnapshotUpdate`](crate::snapshot::SnapshotUpdate)
+//!   body, applied as one atomic generation bump), `POST
+//!   /v1/admin/shutdown`. The unversioned legacy paths answer `301 Moved
+//!   Permanently` with a `location` header pointing at their `/v1` homes.
 //! * **Observability** — per-route `serve.http.route.*` counters, total
-//!   request/connection/shed/status-class counters, and a
-//!   `serve.http.request_ns` latency histogram, all in the global
-//!   `aneci-obs` registry (and therefore visible through `GET /metrics`
-//!   itself).
+//!   request/connection/shed/status-class counters (3xx redirects
+//!   included), and a `serve.http.request_ns` latency histogram, all in the
+//!   global `aneci-obs` registry (and therefore visible through
+//!   `GET /v1/metrics` itself).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -49,7 +54,7 @@
 //! let handle = HttpServer::start(engine, HttpConfig::default(), "127.0.0.1:0").unwrap();
 //! let response = client::post(
 //!     handle.addr(),
-//!     "/query",
+//!     "/v1/query",
 //!     r#"{"op":"top_k","node":0,"k":5}"#,
 //! ).unwrap();
 //! assert_eq!(response.status, 200);
@@ -62,4 +67,4 @@ pub mod server;
 
 pub use client::{ClientResponse, HttpClient};
 pub use parse::{ParseError, ParseLimits, Request};
-pub use server::{HttpConfig, HttpServer, ServerHandle};
+pub use server::{HttpConfig, HttpConfigBuilder, HttpServer, ServerHandle};

@@ -323,10 +323,13 @@ pub fn read_request(
 pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        301 => "Moved Permanently",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
+        412 => "Precondition Failed",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -344,15 +347,32 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with_headers(writer, status, content_type, body, keep_alive, &[])
+}
+
+/// [`write_response`] plus extra header fields (e.g. `location` on a 301).
+/// Names must already be lowercase; values must be header-safe.
+pub fn write_response_with_headers(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         status,
         reason_phrase(status),
         content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -484,5 +504,23 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn response_writer_emits_extra_headers() {
+        let mut out = Vec::new();
+        write_response_with_headers(
+            &mut out,
+            301,
+            "application/json",
+            b"{}",
+            true,
+            &[("location", "/v1/healthz")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 301 Moved Permanently\r\n"));
+        assert!(text.contains("location: /v1/healthz\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

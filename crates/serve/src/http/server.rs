@@ -10,10 +10,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use aneci_core::AneciError;
 use aneci_linalg::pool;
 
 use crate::engine::{ErrorCode, QueryEngine, Response};
-use crate::http::parse::{read_request, write_response, ParseError, ParseLimits, Request};
+use crate::http::parse::{
+    read_request, write_response, write_response_with_headers, ParseError, ParseLimits, Request,
+};
+use crate::snapshot::SnapshotUpdate;
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
@@ -51,6 +55,103 @@ impl Default for HttpConfig {
     }
 }
 
+impl HttpConfig {
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> HttpConfigBuilder {
+        HttpConfigBuilder::default()
+    }
+
+    /// Checks internal consistency; [`HttpConfigBuilder::build`] and
+    /// [`HttpServer::start`] both call this.
+    pub fn validate(&self) -> Result<(), AneciError> {
+        let bad = |msg: &str| Err(AneciError::Config(msg.into()));
+        if self.workers == 0 {
+            return bad("http: workers must be at least 1");
+        }
+        if self.queue_capacity == 0 {
+            return bad("http: queue_capacity must be at least 1");
+        }
+        if self.idle_timeout.is_zero() {
+            return bad("http: idle_timeout must be positive");
+        }
+        if self.max_header_bytes < 256 {
+            return bad("http: max_header_bytes must be at least 256 (a request line alone can approach that)");
+        }
+        if self.max_body_bytes == 0 {
+            return bad("http: max_body_bytes must be positive");
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`HttpConfig`]. Fluent setters, and a [`build`]
+/// that returns a typed [`AneciError::Config`] instead of letting a
+/// nonsensical value (zero workers, zero-byte header budget) surface later
+/// as a hung or instantly-shed connection.
+///
+/// ```
+/// use aneci_serve::http::HttpConfig;
+///
+/// let config = HttpConfig::builder()
+///     .workers(4)
+///     .queue_capacity(64)
+///     .keep_alive(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.workers, 4);
+/// assert!(HttpConfig::builder().workers(0).build().is_err());
+/// ```
+///
+/// [`build`]: HttpConfigBuilder::build
+#[derive(Clone, Debug, Default)]
+pub struct HttpConfigBuilder {
+    config: HttpConfig,
+}
+
+impl HttpConfigBuilder {
+    /// Worker threads handling connections.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Accepted-connection queue depth before load shedding.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.config.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Serve multiple requests per connection.
+    pub fn keep_alive(mut self, keep_alive: bool) -> Self {
+        self.config.keep_alive = keep_alive;
+        self
+    }
+
+    /// Idle cap between requests and per-read stall cap within one.
+    pub fn idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.config.idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Request-line + header byte budget per request.
+    pub fn max_header_bytes(mut self, max_header_bytes: usize) -> Self {
+        self.config.max_header_bytes = max_header_bytes;
+        self
+    }
+
+    /// Body byte budget per request.
+    pub fn max_body_bytes(mut self, max_body_bytes: usize) -> Self {
+        self.config.max_body_bytes = max_body_bytes;
+        self
+    }
+
+    /// Validates and returns the finished config.
+    pub fn build(self) -> Result<HttpConfig, AneciError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// How often an idle-waiting worker wakes to re-check the shutdown flag.
 const IDLE_POLL_TICK: Duration = Duration::from_millis(50);
 
@@ -63,14 +164,17 @@ struct HttpMetrics {
     shed: aneci_obs::Counter,
     batch_queries: aneci_obs::Counter,
     status_2xx: aneci_obs::Counter,
+    status_3xx: aneci_obs::Counter,
     status_4xx: aneci_obs::Counter,
     status_5xx: aneci_obs::Counter,
     route_healthz: aneci_obs::Counter,
     route_metrics: aneci_obs::Counter,
     route_query: aneci_obs::Counter,
     route_query_batch: aneci_obs::Counter,
+    route_reindex: aneci_obs::Counter,
     route_shutdown: aneci_obs::Counter,
     route_unmatched: aneci_obs::Counter,
+    legacy_redirects: aneci_obs::Counter,
 }
 
 impl HttpMetrics {
@@ -83,20 +187,24 @@ impl HttpMetrics {
             shed: aneci_obs::counter("serve.http.shed"),
             batch_queries: aneci_obs::counter("serve.http.batch_queries"),
             status_2xx: aneci_obs::counter("serve.http.status.2xx"),
+            status_3xx: aneci_obs::counter("serve.http.status.3xx"),
             status_4xx: aneci_obs::counter("serve.http.status.4xx"),
             status_5xx: aneci_obs::counter("serve.http.status.5xx"),
             route_healthz: aneci_obs::counter("serve.http.route.healthz"),
             route_metrics: aneci_obs::counter("serve.http.route.metrics"),
             route_query: aneci_obs::counter("serve.http.route.query"),
             route_query_batch: aneci_obs::counter("serve.http.route.query_batch"),
+            route_reindex: aneci_obs::counter("serve.http.route.reindex"),
             route_shutdown: aneci_obs::counter("serve.http.route.shutdown"),
             route_unmatched: aneci_obs::counter("serve.http.route.unmatched"),
+            legacy_redirects: aneci_obs::counter("serve.http.legacy_redirects"),
         }
     }
 
     fn record_status(&self, status: u16) {
         match status {
             200..=299 => self.status_2xx.inc(),
+            300..=399 => self.status_3xx.inc(),
             400..=499 => self.status_4xx.inc(),
             _ => self.status_5xx.inc(),
         }
@@ -461,10 +569,23 @@ fn answer_parse_error(
 /// One routed response. Returns `true` when the connection must close.
 fn respond(shared: &Shared, writer: &mut impl Write, request: &Request, start: Instant) -> bool {
     shared.metrics.requests.inc();
-    let (status, content_type, body) = route(shared, request);
-    shared.metrics.record_status(status);
+    let routed = route(shared, request);
+    shared.metrics.record_status(routed.status);
     let keep_alive = shared.config.keep_alive && request.wants_keep_alive() && !shared.draining();
-    let write_failed = write_response(writer, status, content_type, &body, keep_alive).is_err();
+    let extra: Vec<(&str, &str)> = routed
+        .location
+        .map(|target| ("location", target))
+        .into_iter()
+        .collect();
+    let write_failed = write_response_with_headers(
+        writer,
+        routed.status,
+        routed.content_type,
+        &routed.body,
+        keep_alive,
+        &extra,
+    )
+    .is_err();
     shared
         .metrics
         .request_ns
@@ -472,39 +593,74 @@ fn respond(shared: &Shared, writer: &mut impl Write, request: &Request, start: I
     write_failed || !keep_alive
 }
 
+/// One route handler's answer: status line, body, and (for 301s) the
+/// `location` header value.
+struct Routed {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    location: Option<&'static str>,
+}
+
+impl Routed {
+    fn new(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            content_type,
+            body,
+            location: None,
+        }
+    }
+}
+
+/// The unversioned paths of the pre-`/v1` API and where each now lives.
+/// Any method on these answers `301 Moved Permanently` with a `location`
+/// header — clients learn the new path from the redirect instead of
+/// silently running against a frozen legacy surface.
+const LEGACY_ROUTES: [(&str, &str); 5] = [
+    ("/healthz", "/v1/healthz"),
+    ("/metrics", "/v1/metrics"),
+    ("/query", "/v1/query"),
+    ("/query_batch", "/v1/query_batch"),
+    ("/shutdown", "/v1/admin/shutdown"),
+];
+
 /// Dispatches one request to its route handler.
-fn route(shared: &Shared, request: &Request) -> (u16, &'static str, Vec<u8>) {
+fn route(shared: &Shared, request: &Request) -> Routed {
     const JSON: &str = "application/json";
     const NDJSON: &str = "application/x-ndjson";
     let method = request.method.as_str();
     let path = request.path();
     match (method, path) {
-        ("GET", "/healthz") => {
+        ("GET", "/v1/healthz") => {
             shared.metrics.route_healthz.inc();
-            let store = shared.engine.store();
+            let snap = shared.engine.snapshot();
             let body = format!(
-                r#"{{"kind":"health","status":"{}","nodes":{},"dim":{},"in_flight":{}}}"#,
+                r#"{{"kind":"health","status":"{}","nodes":{},"live":{},"dim":{},"generation":{},"reindexing":{},"in_flight":{}}}"#,
                 if shared.draining() {
                     "draining"
                 } else {
                     "serving"
                 },
-                store.num_nodes(),
-                store.dim(),
+                snap.store.num_nodes(),
+                snap.store.num_live(),
+                snap.store.dim(),
+                snap.generation,
+                shared.engine.reindex_in_progress(),
                 shared.in_flight.load(Ordering::SeqCst),
             );
-            (200, JSON, body.into_bytes())
+            Routed::new(200, JSON, body.into_bytes())
         }
-        ("GET", "/metrics") => {
+        ("GET", "/v1/metrics") => {
             shared.metrics.route_metrics.inc();
             let snapshot = aneci_obs::global().snapshot();
-            (200, JSON, snapshot.to_json().into_bytes())
+            Routed::new(200, JSON, snapshot.to_json().into_bytes())
         }
-        ("POST", "/query") => {
+        ("POST", "/v1/query") => {
             shared.metrics.route_query.inc();
             let Ok(text) = std::str::from_utf8(&request.body) else {
                 let body = error_body(ErrorCode::BadRequest, "query body is not UTF-8");
-                return (400, JSON, body);
+                return Routed::new(400, JSON, body);
             };
             let line = text.trim();
             if line.is_empty() {
@@ -512,16 +668,16 @@ fn route(shared: &Shared, request: &Request) -> (u16, &'static str, Vec<u8>) {
                     ErrorCode::BadRequest,
                     "empty query body (expected one JSON query object)",
                 );
-                return (400, JSON, body);
+                return Routed::new(400, JSON, body);
             }
             let out = shared.engine.run_line(line);
-            (query_status(&out), JSON, out.into_bytes())
+            Routed::new(query_status(&out), JSON, out.into_bytes())
         }
-        ("POST", "/query_batch") => {
+        ("POST", "/v1/query_batch") => {
             shared.metrics.route_query_batch.inc();
             let Ok(text) = std::str::from_utf8(&request.body) else {
                 let body = error_body(ErrorCode::BadRequest, "batch body is not UTF-8");
-                return (400, JSON, body);
+                return Routed::new(400, JSON, body);
             };
             let lines: Vec<&str> = text.lines().collect();
             if lines.is_empty() {
@@ -529,7 +685,7 @@ fn route(shared: &Shared, request: &Request) -> (u16, &'static str, Vec<u8>) {
                     ErrorCode::BadRequest,
                     "empty batch body (expected one JSON query per line)",
                 );
-                return (400, JSON, body);
+                return Routed::new(400, JSON, body);
             }
             shared.metrics.batch_queries.add(lines.len() as u64);
             // Per-line errors come back typed *in place* — alignment with
@@ -537,29 +693,65 @@ fn route(shared: &Shared, request: &Request) -> (u16, &'static str, Vec<u8>) {
             // path — so the batch itself is always a 200.
             let mut body = shared.engine.run_batch(&lines).join("\n");
             body.push('\n');
-            (200, NDJSON, body.into_bytes())
+            Routed::new(200, NDJSON, body.into_bytes())
         }
-        ("POST", "/shutdown") => {
+        ("POST", "/v1/admin/reindex") => {
+            shared.metrics.route_reindex.inc();
+            let update: SnapshotUpdate = match serde_json::from_slice(&request.body) {
+                Ok(update) => update,
+                Err(e) => {
+                    let body = error_body(ErrorCode::BadRequest, format!("bad reindex body: {e}"));
+                    return Routed::new(400, JSON, body);
+                }
+            };
+            // Runs synchronously on this worker thread — off the readers'
+            // path by construction: queries on other workers keep answering
+            // from the pinned snapshot the whole time, and only the final
+            // pointer swap is observable.
+            match shared.engine.apply_update(&update) {
+                Ok(generation) => {
+                    let body = format!(r#"{{"kind":"reindex","generation":{generation}}}"#);
+                    Routed::new(200, JSON, body.into_bytes())
+                }
+                Err((code, message)) => {
+                    Routed::new(code.http_status(), JSON, error_body(code, message))
+                }
+            }
+        }
+        ("POST", "/v1/admin/shutdown") => {
             shared.metrics.route_shutdown.inc();
             shared.begin_shutdown();
             let body = br#"{"kind":"shutdown","status":"draining"}"#.to_vec();
-            (200, JSON, body)
+            Routed::new(200, JSON, body)
         }
-        (_, "/healthz" | "/metrics" | "/query" | "/query_batch" | "/shutdown") => {
+        (
+            _,
+            "/v1/healthz" | "/v1/metrics" | "/v1/query" | "/v1/query_batch" | "/v1/admin/reindex"
+            | "/v1/admin/shutdown",
+        ) => {
             shared.metrics.route_unmatched.inc();
             let body = error_body(
                 ErrorCode::MethodNotAllowed,
                 format!("{method} is not supported on {path}"),
             );
-            (405, JSON, body)
+            Routed::new(405, JSON, body)
         }
         _ => {
+            if let Some(&(_, target)) = LEGACY_ROUTES.iter().find(|&&(old, _)| old == path) {
+                shared.metrics.legacy_redirects.inc();
+                let body = format!(
+                    r#"{{"kind":"moved","location":"{target}","error":"the unversioned API moved under /v1"}}"#
+                );
+                let mut routed = Routed::new(301, JSON, body.into_bytes());
+                routed.location = Some(target);
+                return routed;
+            }
             shared.metrics.route_unmatched.inc();
             let body = error_body(
                 ErrorCode::NotFound,
-                format!("no route {method} {path} (have GET /healthz, GET /metrics, POST /query, POST /query_batch, POST /shutdown)"),
+                format!("no route {method} {path} (have GET /v1/healthz, GET /v1/metrics, POST /v1/query, POST /v1/query_batch, POST /v1/admin/reindex, POST /v1/admin/shutdown)"),
             );
-            (404, JSON, body)
+            Routed::new(404, JSON, body)
         }
     }
 }

@@ -12,15 +12,21 @@
 //!   counters;
 //! * [`engine`] — [`engine::QueryEngine`]: JSONL in, JSONL out, batched
 //!   concurrently on the persistent pool with deterministic output order;
+//! * [`snapshot`] — [`snapshot::SnapshotHandle`]: generation-counted
+//!   `Arc<Snapshot>` epoch swaps, so embedding updates publish atomically
+//!   while readers keep answering without blocking, plus the
+//!   [`snapshot::SnapshotUpdate`] delta vocabulary and its on-disk log;
 //! * [`http`] — [`http::HttpServer`]: a from-scratch, zero-dependency
 //!   HTTP/1.1 front end over the engine (bounded-queue worker dispatch,
-//!   keep-alive, load shedding, graceful shutdown).
+//!   keep-alive, load shedding, graceful shutdown), serving the versioned
+//!   `/v1` API.
 //!
 //! Two binaries wire these together behind CLIs: `aneci_serve`
 //! (`src/bin/aneci_serve.rs`) answers JSONL queries from a file or stdin;
 //! `aneci_http` (`src/bin/aneci_http.rs`) serves the same queries over a
-//! TCP socket (`GET /healthz`, `GET /metrics`, `POST /query`,
-//! `POST /query_batch`).
+//! TCP socket (`GET /v1/healthz`, `GET /v1/metrics`, `POST /v1/query`,
+//! `POST /v1/query_batch`, `POST /v1/admin/reindex`,
+//! `POST /v1/admin/shutdown`; the unversioned legacy paths answer 301).
 //!
 //! ```no_run
 //! use aneci_core::model::AneciModel;
@@ -36,10 +42,15 @@ pub mod cache;
 pub mod engine;
 pub mod hnsw;
 pub mod http;
+pub mod snapshot;
 pub mod store;
 
 pub use cache::LruCache;
-pub use engine::{EngineConfig, ErrorCode, Neighbor, Query, QueryEngine, Response};
+pub use engine::{
+    EngineConfig, EngineConfigBuilder, ErrorCode, Neighbor, Query, QueryEngine, QueryRequest,
+    QueryResponse, Response,
+};
 pub use hnsw::{recall_at_k, HnswConfig, HnswIndex};
-pub use http::{HttpConfig, HttpServer, ServerHandle};
+pub use http::{HttpConfig, HttpConfigBuilder, HttpServer, ServerHandle};
+pub use snapshot::{Snapshot, SnapshotHandle, SnapshotUpdate, StoreGuard, VectorUpsert};
 pub use store::{EmbeddingStore, Metric, Scored};

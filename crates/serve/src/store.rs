@@ -50,6 +50,7 @@ impl Metric {
 pub type Scored = (usize, f64);
 
 /// The in-memory serving store for one checkpointed model.
+#[derive(Clone)]
 pub struct EmbeddingStore {
     embedding: DenseMatrix,
     /// Cached per-row L2 norms (for cosine scoring).
@@ -57,11 +58,25 @@ pub struct EmbeddingStore {
     membership: Option<DenseMatrix>,
     /// Cached argmax of each membership row.
     communities: Option<Vec<usize>>,
+    /// Tombstone mask (`None` = nothing deleted). Tombstoned rows keep
+    /// their id (so client-visible ids stay stable across snapshot swaps)
+    /// but are filtered from every top-k result.
+    deleted: Option<Vec<bool>>,
 }
 
 impl EmbeddingStore {
     /// Builds a store from an embedding matrix and optional membership.
     pub fn new(embedding: DenseMatrix, membership: Option<DenseMatrix>) -> Self {
+        Self::with_tombstones(embedding, membership, None)
+    }
+
+    /// Builds a store with an explicit tombstone mask (the snapshot-update
+    /// path; `None` means every row is live).
+    pub fn with_tombstones(
+        embedding: DenseMatrix,
+        membership: Option<DenseMatrix>,
+        deleted: Option<Vec<bool>>,
+    ) -> Self {
         if let Some(m) = &membership {
             assert_eq!(
                 m.rows(),
@@ -69,13 +84,23 @@ impl EmbeddingStore {
                 "membership must cover every embedded node"
             );
         }
+        if let Some(d) = &deleted {
+            assert_eq!(
+                d.len(),
+                embedding.rows(),
+                "tombstone mask must cover every embedded node"
+            );
+        }
         let norms = embedding.rows_iter().map(vector::norm2).collect();
         let communities = membership.as_ref().map(|m| m.argmax_rows());
+        // An all-false mask is the same as no mask, and cheaper to query.
+        let deleted = deleted.filter(|d| d.iter().any(|&x| x));
         Self {
             embedding,
             norms,
             membership,
             communities,
+            deleted,
         }
     }
 
@@ -84,9 +109,34 @@ impl EmbeddingStore {
         Self::new(ckpt.embedding.clone(), Some(ckpt.membership.clone()))
     }
 
-    /// Number of embedded nodes.
+    /// Number of embedded node slots, tombstoned ones included.
     pub fn num_nodes(&self) -> usize {
         self.embedding.rows()
+    }
+
+    /// Number of live (non-tombstoned) nodes.
+    pub fn num_live(&self) -> usize {
+        match &self.deleted {
+            Some(d) => d.iter().filter(|&&x| !x).count(),
+            None => self.embedding.rows(),
+        }
+    }
+
+    /// Whether `node` is tombstoned.
+    pub fn is_deleted(&self, node: usize) -> bool {
+        self.deleted
+            .as_ref()
+            .is_some_and(|d| d.get(node).copied().unwrap_or(false))
+    }
+
+    /// The tombstone mask, when any row is tombstoned.
+    pub fn deleted_mask(&self) -> Option<&[bool]> {
+        self.deleted.as_deref()
+    }
+
+    /// The stored soft-membership matrix, when available.
+    pub fn membership(&self) -> Option<&DenseMatrix> {
+        self.membership.as_ref()
     }
 
     /// Embedding dimensionality.
@@ -185,10 +235,13 @@ impl EmbeddingStore {
             }
             Metric::Dot => vector::dot_scores(query, rows, &mut scores),
         }
+        // Tombstones are dropped *before* the per-chunk truncation, so a
+        // chunk full of deleted rows can never crowd live candidates out.
         let mut scored: Vec<Scored> = scores
             .iter()
             .enumerate()
             .map(|(i, &s)| (lo + i, s))
+            .filter(|&(id, _)| !self.is_deleted(id))
             .collect();
         scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(keep.min(scored.len()));
@@ -202,14 +255,19 @@ impl EmbeddingStore {
     }
 
     /// Hard community of `node` (argmax membership), when membership is
-    /// available.
+    /// available. Nodes appended by a snapshot update carry an all-zero
+    /// membership row (the model hasn't assigned them yet) and report
+    /// `None`.
     pub fn community(&self, node: usize) -> Option<usize> {
+        self.membership_row(node)?;
         self.communities.as_ref().map(|c| c[node])
     }
 
-    /// The soft membership row of `node`, when available.
+    /// The soft membership row of `node`, when available and assigned
+    /// (all-zero rows — appended, not-yet-trained nodes — report `None`).
     pub fn membership_row(&self, node: usize) -> Option<&[f64]> {
-        self.membership.as_ref().map(|m| m.row(node))
+        let row = self.membership.as_ref().map(|m| m.row(node))?;
+        row.iter().any(|&x| x != 0.0).then_some(row)
     }
 
     /// Link-prediction score `σ(z_u · z_v)` — **the** eval scorer
@@ -332,6 +390,55 @@ mod tests {
         for (score, &(u, v)) in batch.iter().zip(&pairs) {
             assert_eq!(*score, s.edge_score(u, v));
         }
+    }
+
+    #[test]
+    fn tombstoned_rows_never_appear_in_top_k() {
+        use aneci_linalg::pool;
+        pool::force_pool();
+        let n = 300;
+        let mut rng = seeded_rng(9);
+        let z = gaussian_matrix(n, 8, 1.0, &mut rng);
+        let mut deleted = vec![false; n];
+        for i in (0..n).step_by(3) {
+            deleted[i] = true;
+        }
+        let full = EmbeddingStore::new(z.clone(), None);
+        let masked = EmbeddingStore::with_tombstones(z.clone(), None, Some(deleted.clone()));
+        assert_eq!(masked.num_live(), n - n.div_ceil(3));
+        assert!(masked.is_deleted(0) && !masked.is_deleted(1));
+
+        let query = z.row(1).to_vec();
+        pool::set_par_threshold(1); // force the chunked parallel path
+        for &k in &[1usize, 5, 50, 300] {
+            let got = masked.top_k(&query, k, Metric::Cosine, None);
+            // Reference: full scan, live rows only, same ordering rules.
+            let expect: Vec<Scored> = full
+                .top_k(&query, n, Metric::Cosine, None)
+                .into_iter()
+                .filter(|&(id, _)| !deleted[id])
+                .take(k)
+                .collect();
+            assert_eq!(got, expect, "k = {k}");
+        }
+
+        // An all-false mask normalizes away entirely.
+        let clean = EmbeddingStore::with_tombstones(z, None, Some(vec![false; n]));
+        assert!(clean.deleted_mask().is_none());
+        assert_eq!(clean.num_live(), n);
+    }
+
+    #[test]
+    fn zero_membership_rows_report_unassigned() {
+        let s = store(10, 4, 7);
+        assert!(s.community(3).is_some());
+        // Rebuild with node 3's membership zeroed (an appended node).
+        let mut m = s.membership.clone().unwrap();
+        m.row_mut(3).fill(0.0);
+        let s2 = EmbeddingStore::new(s.embedding.clone(), Some(m));
+        assert_eq!(s2.community(3), None);
+        assert!(s2.membership_row(3).is_none());
+        assert!(s2.community(4).is_some());
     }
 
     #[test]

@@ -69,15 +69,17 @@ fn healthz_query_metrics_round_trip() {
     let (engine, handle) = default_server();
     let addr = handle.addr();
 
-    let health = client::get(addr, "/healthz").unwrap();
+    let health = client::get(addr, "/v1/healthz").unwrap();
     assert_eq!(health.status, 200);
     let text = health.text();
     assert!(text.contains(r#""status":"serving""#), "{text}");
     assert!(text.contains(r#""nodes":34"#), "{text}");
+    assert!(text.contains(r#""generation":0"#), "{text}");
+    assert!(text.contains(r#""reindexing":false"#), "{text}");
 
     // The HTTP answer is byte-identical to the JSONL engine's answer.
     let line = r#"{"op":"top_k","node":0,"k":5}"#;
-    let response = client::post(addr, "/query", line).unwrap();
+    let response = client::post(addr, "/v1/query", line).unwrap();
     assert_eq!(response.status, 200);
     assert_eq!(response.text(), engine.run_line(line));
     assert_eq!(response.header("content-type"), Some("application/json"));
@@ -85,7 +87,7 @@ fn healthz_query_metrics_round_trip() {
     // Batch: three lines in, three aligned lines out, bad line typed in place.
     let batch =
         "{\"op\":\"community\",\"node\":1}\nnot json\n{\"op\":\"edge_score\",\"u\":0,\"v\":1}";
-    let response = client::post(addr, "/query_batch", batch).unwrap();
+    let response = client::post(addr, "/v1/query_batch", batch).unwrap();
     assert_eq!(response.status, 200);
     let body = response.text();
     let lines: Vec<&str> = body.trim_end().split('\n').map(str::trim).collect();
@@ -95,7 +97,7 @@ fn healthz_query_metrics_round_trip() {
     assert!(lines[1].contains(r#""code":"bad_request""#), "{}", lines[1]);
     assert!(lines[2].contains(r#""kind":"edge_score""#), "{}", lines[2]);
 
-    let metrics = client::get(addr, "/metrics").unwrap();
+    let metrics = client::get(addr, "/v1/metrics").unwrap();
     assert_eq!(metrics.status, 200);
     let text = metrics.text();
     assert!(text.contains("serve.http.requests"), "{text}");
@@ -110,24 +112,24 @@ fn typed_errors_carry_code_and_status() {
     let addr = handle.addr();
 
     // Malformed query JSON → 400 bad_request.
-    let r = client::post(addr, "/query", "{definitely not json").unwrap();
+    let r = client::post(addr, "/v1/query", "{definitely not json").unwrap();
     assert_eq!(r.status, 400);
     assert!(r.text().contains(r#""code":"bad_request""#), "{}", r.text());
 
     // Out-of-range node → 404 not_found (karate club has 34 nodes).
-    let r = client::post(addr, "/query", r#"{"op":"top_k","node":9999,"k":5}"#).unwrap();
+    let r = client::post(addr, "/v1/query", r#"{"op":"top_k","node":9999,"k":5}"#).unwrap();
     assert_eq!(r.status, 404);
     assert!(r.text().contains(r#""code":"not_found""#), "{}", r.text());
 
     // Empty body → 400.
-    let r = client::post(addr, "/query", "").unwrap();
+    let r = client::post(addr, "/v1/query", "").unwrap();
     assert_eq!(r.status, 400);
 
     // Unknown route → 404; wrong method on a known route → 405.
     let r = client::get(addr, "/nope").unwrap();
     assert_eq!(r.status, 404);
     assert!(r.text().contains(r#""code":"not_found""#), "{}", r.text());
-    let r = client::get(addr, "/query").unwrap();
+    let r = client::get(addr, "/v1/query").unwrap();
     assert_eq!(r.status, 405);
     assert!(
         r.text().contains(r#""code":"method_not_allowed""#),
@@ -139,12 +141,88 @@ fn typed_errors_carry_code_and_status() {
 }
 
 #[test]
+fn legacy_paths_answer_301_with_their_v1_location() {
+    let (_engine, handle) = default_server();
+    let addr = handle.addr();
+
+    for (old, new) in [
+        ("/healthz", "/v1/healthz"),
+        ("/metrics", "/v1/metrics"),
+        ("/query", "/v1/query"),
+        ("/query_batch", "/v1/query_batch"),
+        ("/shutdown", "/v1/admin/shutdown"),
+    ] {
+        let r = client::get(addr, old).unwrap();
+        assert_eq!(r.status, 301, "{old}");
+        assert_eq!(r.header("location"), Some(new), "{old}");
+        assert!(r.text().contains(r#""kind":"moved""#), "{}", r.text());
+    }
+    // A redirect must NOT execute the route: /shutdown above left the
+    // server running.
+    let r = client::get(addr, "/v1/healthz").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(r.text().contains(r#""status":"serving""#), "{}", r.text());
+
+    handle.shutdown();
+}
+
+#[test]
+fn reindex_route_publishes_a_generation_and_read_your_writes_holds() {
+    let (engine, handle) = default_server();
+    let addr = handle.addr();
+    let dim = engine.snapshot().store.dim();
+
+    // A min_generation ahead of the snapshot → 412 precondition failed.
+    let stale = r#"{"op":"top_k","node":0,"k":3,"min_generation":1}"#;
+    let r = client::post(addr, "/v1/query", stale).unwrap();
+    assert_eq!(r.status, 412);
+    assert!(
+        r.text().contains(r#""code":"snapshot_stale""#),
+        "{}",
+        r.text()
+    );
+
+    // Append node 34 and delete node 2 in one atomic update.
+    let update = format!(
+        r#"{{"upserts":[{{"node":34,"vector":{}}}],"deletes":[2]}}"#,
+        serde_json::to_string(&vec![0.5; dim]).unwrap()
+    );
+    let r = client::post(addr, "/v1/admin/reindex", &update).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains(r#""generation":1"#), "{}", r.text());
+
+    // The same min_generation=1 query now answers.
+    let r = client::post(addr, "/v1/query", stale).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    // The deleted node is gone; the appended node serves.
+    let r = client::post(addr, "/v1/query", r#"{"op":"top_k","node":2,"k":3}"#).unwrap();
+    assert_eq!(r.status, 404);
+    let r = client::post(addr, "/v1/query", r#"{"op":"top_k","node":34,"k":3}"#).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    // Health reflects the new generation and the shrunken live count.
+    let health = client::get(addr, "/v1/healthz").unwrap();
+    let text = health.text();
+    assert!(text.contains(r#""generation":1"#), "{text}");
+    assert!(text.contains(r#""nodes":35"#), "{text}");
+    assert!(text.contains(r#""live":34"#), "{text}");
+
+    // A malformed update body is a typed 400, not a publish.
+    let r = client::post(addr, "/v1/admin/reindex", "{not json").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains(r#""code":"bad_request""#), "{}", r.text());
+    let r = client::get(addr, "/v1/healthz").unwrap();
+    assert!(r.text().contains(r#""generation":1"#), "{}", r.text());
+
+    handle.shutdown();
+}
+
+#[test]
 fn parser_rejects_garbage_without_panicking() {
     let (_engine, handle) = default_server();
 
     // Oversized headers → 431.
     let mut s = raw_connect(&handle);
-    write!(s, "GET /healthz HTTP/1.1\r\n").unwrap();
+    write!(s, "GET /v1/healthz HTTP/1.1\r\n").unwrap();
     let filler = format!("x-filler: {}\r\n", "a".repeat(1024));
     for _ in 0..16 {
         // 16 KiB of headers against an 8 KiB budget; the server may close
@@ -162,7 +240,7 @@ fn parser_rejects_garbage_without_panicking() {
     let mut s = raw_connect(&handle);
     write!(
         s,
-        "POST /query HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n20\r\n{{\"op\":"
+        "POST /v1/query HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n20\r\n{{\"op\":"
     )
     .unwrap();
     s.shutdown(std::net::Shutdown::Write).unwrap();
@@ -173,7 +251,7 @@ fn parser_rejects_garbage_without_panicking() {
     let mut s = raw_connect(&handle);
     write!(
         s,
-        "POST /query HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nzz\r\nhello\r\n0\r\n\r\n"
+        "POST /v1/query HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nzz\r\nhello\r\n0\r\n\r\n"
     )
     .unwrap();
     let (status, text) = read_to_eof(&mut s);
@@ -186,11 +264,11 @@ fn parser_rejects_garbage_without_panicking() {
     let (status, _) = read_to_eof(&mut s);
     assert_eq!(status, 400);
 
-    // Zero-length POST /query body parses fine and earns a typed 400.
+    // Zero-length POST /v1/query body parses fine and earns a typed 400.
     let mut s = raw_connect(&handle);
     write!(
         s,
-        "POST /query HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
+        "POST /v1/query HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
     )
     .unwrap();
     let (status, text) = read_to_eof(&mut s);
@@ -209,7 +287,7 @@ fn pipelined_keep_alive_requests_answered_in_order() {
     let mut s = raw_connect(&handle);
     write!(
         s,
-        "GET /healthz HTTP/1.1\r\n\r\nPOST /query HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{line}",
+        "GET /v1/healthz HTTP/1.1\r\n\r\nPOST /v1/query HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{line}",
         line.len()
     )
     .unwrap();
@@ -227,10 +305,10 @@ fn pipelined_keep_alive_requests_answered_in_order() {
 
     // Sequential keep-alive reuse over one client connection.
     let mut client = HttpClient::connect(handle.addr()).unwrap();
-    let first = client.get("/healthz").unwrap();
+    let first = client.get("/v1/healthz").unwrap();
     assert_eq!(first.status, 200);
     assert_eq!(first.header("connection"), Some("keep-alive"));
-    let second = client.post("/query", line).unwrap();
+    let second = client.post("/v1/query", line).unwrap();
     assert_eq!(second.status, 200);
     assert_eq!(second.text(), engine.run_line(line));
 
@@ -246,7 +324,7 @@ fn occupy_worker(handle: &ServerHandle) -> TcpStream {
     // read_to_eof sees EOF instead of racing the keep-alive idle timeout.
     write!(
         s,
-        "POST /query HTTP/1.1\r\ncontent-length: 30\r\nconnection: close\r\n\r\n"
+        "POST /v1/query HTTP/1.1\r\ncontent-length: 30\r\nconnection: close\r\n\r\n"
     )
     .unwrap();
     s.flush().unwrap();
@@ -277,13 +355,17 @@ fn saturated_queue_sheds_with_503() {
 
     // Fill the queue (this connection parks until the worker frees up).
     let mut queued = raw_connect(&handle);
-    write!(queued, "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
+    write!(
+        queued,
+        "GET /v1/healthz HTTP/1.1\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
     std::thread::sleep(Duration::from_millis(100));
 
     // Everything beyond the queue is shed with a typed 503.
     let mut shed_seen = 0;
     for _ in 0..10 {
-        match client::get(addr, "/healthz") {
+        match client::get(addr, "/v1/healthz") {
             Ok(r) if r.status == 503 => {
                 assert!(r.text().contains(r#""code":"overloaded""#), "{}", r.text());
                 shed_seen += 1;
@@ -319,7 +401,7 @@ fn graceful_shutdown_drains_in_flight_and_queued() {
     // One request mid-flight, one connection waiting in the queue.
     let mut in_flight = occupy_worker(&handle);
     let mut queued = raw_connect(&handle);
-    write!(queued, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    write!(queued, "GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
     std::thread::sleep(Duration::from_millis(100));
 
     // Shutdown from another thread; it must block until both are served.
@@ -351,7 +433,7 @@ fn shutdown_route_stops_the_server() {
         ..HttpConfig::default()
     });
     let addr = handle.addr();
-    let r = client::post(addr, "/shutdown", "").unwrap();
+    let r = client::post(addr, "/v1/admin/shutdown", "").unwrap();
     assert_eq!(r.status, 200);
     assert!(r.text().contains(r#""status":"draining""#), "{}", r.text());
     // wait() returns once the drain completes.

@@ -36,36 +36,40 @@ fn main() {
     println!("serving on http://{}", handle.addr());
 
     // 3. Talk to it over a real TCP connection, reused across requests
-    //    (keep-alive). `curl http://ADDR/healthz` would see the same bytes.
+    //    (keep-alive). `curl http://ADDR/v1/healthz` would see the same bytes.
     let mut client = HttpClient::connect(handle.addr()).expect("connecting");
 
-    let health = client.get("/healthz").expect("healthz");
-    println!("GET /healthz       -> {} {}", health.status, health.text());
+    let health = client.get("/v1/healthz").expect("healthz");
+    println!(
+        "GET /v1/healthz       -> {} {}",
+        health.status,
+        health.text()
+    );
 
     let query = r#"{"op":"top_k","node":0,"k":5}"#;
-    let top_k = client.post("/query", query).expect("query");
-    println!("POST /query        -> {} {}", top_k.status, top_k.text());
+    let top_k = client.post("/v1/query", query).expect("query");
+    println!("POST /v1/query        -> {} {}", top_k.status, top_k.text());
 
     // Batches are newline-delimited queries; a malformed line answers with
     // a typed error *in place*, keeping responses aligned with requests.
     let batch = "{\"op\":\"community\",\"node\":8}\n\
                  not json at all\n\
                  {\"op\":\"edge_score\",\"u\":0,\"v\":33}";
-    let responses = client.post("/query_batch", batch).expect("batch");
-    println!("POST /query_batch  -> {}", responses.status);
+    let responses = client.post("/v1/query_batch", batch).expect("batch");
+    println!("POST /v1/query_batch  -> {}", responses.status);
     for line in responses.text().trim_end().lines() {
         println!("  {line}");
     }
 
     // The server's own traffic shows up in its telemetry endpoint.
-    let metrics = client.get("/metrics").expect("metrics");
+    let metrics = client.get("/v1/metrics").expect("metrics");
     let served = metrics
         .text()
         .lines()
         .filter(|l| l.contains("serve.http."))
         .count();
     println!(
-        "GET /metrics       -> {} ({served} serve.http.* series)",
+        "GET /v1/metrics       -> {} ({served} serve.http.* series)",
         metrics.status
     );
 

@@ -51,16 +51,18 @@ pub use aneci_serve as serve;
 pub mod prelude {
     pub use aneci_core::{
         aneci_plus, defense_score, node_anomaly_scores, train_aneci, AneciConfig,
-        AneciConfigBuilder, AneciError, AneciModel, BatchStrategy, DenoiseConfig, MiniBatchTrainer,
-        ReconMode, StopStrategy, TrainReport,
+        AneciConfigBuilder, AneciError, AneciModel, BatchStrategy, DenoiseConfig, DriftGuard,
+        DriftStats, MiniBatchTrainer, ReconMode, StopStrategy, TrainReport,
     };
     pub use aneci_eval::{accuracy, auc, kmeans_best_of, modularity, nmi};
     pub use aneci_graph::{
         generate_lfr, generate_sbm, generate_streamed, karate_club, AttributedGraph, Benchmark,
-        FeatureKind, LfrConfig, SbmConfig, StreamingConfig,
+        DeltaReport, FeatureKind, GraphDelta, GraphError, LfrConfig, SbmConfig, StreamingConfig,
     };
     pub use aneci_linalg::DenseMatrix;
     pub use aneci_serve::{
-        EmbeddingStore, EngineConfig, HttpConfig, HttpServer, QueryEngine, ServerHandle,
+        EmbeddingStore, EngineConfig, EngineConfigBuilder, HttpConfig, HttpConfigBuilder,
+        HttpServer, QueryEngine, QueryRequest, QueryResponse, ServerHandle, Snapshot,
+        SnapshotHandle, SnapshotUpdate, StoreGuard, VectorUpsert,
     };
 }

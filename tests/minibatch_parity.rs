@@ -27,7 +27,7 @@ use aneci::linalg::pool;
 static POOL_CONFIG_LOCK: Mutex<()> = Mutex::new(());
 
 fn small_stream_cfg() -> StreamingConfig {
-    let mut cfg = StreamingConfig::scale(600);
+    let mut cfg = StreamingConfig::scale(600).expect("valid scale preset");
     cfg.num_communities = 6;
     cfg
 }
