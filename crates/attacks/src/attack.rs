@@ -1,0 +1,276 @@
+//! The unified attack interface: every attack *plans* a [`GraphDelta`].
+//!
+//! Attacks used to return four bespoke result structs, each carrying its
+//! own pre-built poisoned graph. Since PR 9 the rest of the workspace —
+//! [`apply_to_csr`](aneci_graph::apply_to_csr),
+//! [`HighOrder::refresh`](aneci_graph::HighOrder::refresh), the serving
+//! snapshot pipeline — speaks [`GraphDelta`], so an attack now emits one
+//! delta plus typed metadata ([`AttackOutcome`]) and the caller decides
+//! what to do with it: materialize a poisoned graph
+//! ([`AttackOutcome::apply`], which validates CSR invariants), patch a CSR
+//! in place, or feed an incremental proximity refresh.
+//!
+//! The planning internals are untouched: each attack still runs its
+//! original sequential simulation on its original RNG stream, so planned
+//! perturbations are bit-identical to the pre-refactor poisoned graphs.
+
+use aneci_graph::{AttributedGraph, GraphDelta, GraphError};
+use std::collections::BTreeSet;
+
+use crate::fga::EdgeFlip;
+use crate::outliers::OutlierType;
+
+/// What an attack did, in the workspace's shared delta vocabulary.
+///
+/// `delta` holds the net perturbation (fake edges in `add_edges`, deleted
+/// edges in `remove_edges`, swapped attribute rows in `set_attributes`);
+/// the remaining fields are typed metadata the evaluation harnesses need.
+#[derive(Clone, Debug, Default)]
+pub struct AttackOutcome {
+    /// The net perturbation, ready for `apply_delta` / `apply_to_csr`.
+    pub delta: GraphDelta,
+    /// Unit perturbations actually spent (edge flips for the edge attacks,
+    /// corrupted nodes for outlier seeding) — at most the requested budget.
+    pub budget_spent: usize,
+    /// The nodes the attack aimed at (empty for non-targeted attacks).
+    pub targets: Vec<usize>,
+    /// Every edge flip in application order (targeted and random attacks).
+    pub flips: Vec<EdgeFlip>,
+    /// Corrupted nodes and the outlier type planted at each (seeding only).
+    pub outliers: Vec<(usize, OutlierType)>,
+}
+
+impl AttackOutcome {
+    /// The injected fake edges `E*` (canonical `u < v` for the random
+    /// attack; endpoint order as planned otherwise).
+    pub fn fake_edges(&self) -> &[(usize, usize)] {
+        &self.delta.add_edges
+    }
+
+    /// The clean edges the attack deleted.
+    pub fn removed_edges(&self) -> &[(usize, usize)] {
+        &self.delta.remove_edges
+    }
+
+    /// Per-node outlier mask (`true` where a node was corrupted).
+    pub fn outlier_mask(&self, num_nodes: usize) -> Vec<bool> {
+        let mut mask = vec![false; num_nodes];
+        for &(node, _) in &self.outliers {
+            mask[node] = true;
+        }
+        mask
+    }
+
+    /// Per-node planted outlier type (`None` at clean nodes).
+    pub fn outlier_types(&self, num_nodes: usize) -> Vec<Option<OutlierType>> {
+        let mut types = vec![None; num_nodes];
+        for &(node, ty) in &self.outliers {
+            types[node] = Some(ty);
+        }
+        types
+    }
+
+    /// Materializes the poisoned graph: applies the delta and then runs the
+    /// full CSR/feature invariant check (`AttributedGraph::validate`), so a
+    /// malformed perturbation fails with a typed [`GraphError`] instead of
+    /// corrupting downstream kernels.
+    pub fn apply(&self, graph: &AttributedGraph) -> Result<AttributedGraph, GraphError> {
+        let mut attacked = graph.clone();
+        attacked.apply_delta(&self.delta)?;
+        attacked
+            .validate()
+            .map_err(|msg| GraphError::Delta(format!("post-attack invariant violated: {msg}")))?;
+        Ok(attacked)
+    }
+}
+
+/// An adversarial perturbation strategy. `plan` computes the delta without
+/// touching the input graph; the provided [`Attack::attack`] materializes
+/// the validated poisoned graph alongside the outcome.
+pub trait Attack {
+    /// Short stable identifier (used in benchmark reports).
+    fn name(&self) -> &'static str;
+
+    /// Plans the perturbation for `graph`.
+    fn plan(&self, graph: &AttributedGraph) -> AttackOutcome;
+
+    /// Plans and applies in one step, validating the result.
+    fn attack(
+        &self,
+        graph: &AttributedGraph,
+    ) -> Result<(AttributedGraph, AttackOutcome), GraphError> {
+        let outcome = self.plan(graph);
+        let attacked = outcome.apply(graph)?;
+        Ok((attacked, outcome))
+    }
+}
+
+/// The net [`GraphDelta`] between two same-size graphs: edge-set difference
+/// plus every attribute row that changed. Used by attacks that simulate
+/// sequentially (where later flips can undo earlier ones) to report the net
+/// effect.
+pub(crate) fn delta_between(original: &AttributedGraph, mutated: &AttributedGraph) -> GraphDelta {
+    assert_eq!(
+        original.num_nodes(),
+        mutated.num_nodes(),
+        "attacks never add or remove nodes"
+    );
+    let before: BTreeSet<(usize, usize)> = original.edge_list().into_iter().collect();
+    let after: BTreeSet<(usize, usize)> = mutated.edge_list().into_iter().collect();
+    let mut delta = GraphDelta {
+        add_edges: after.difference(&before).copied().collect(),
+        remove_edges: before.difference(&after).copied().collect(),
+        ..Default::default()
+    };
+    let (xa, xb) = (original.features(), mutated.features());
+    for node in 0..original.num_nodes() {
+        if xa.row(node) != xb.row(node) {
+            delta = delta.set_attribute(node, xb.row(node).to_vec());
+        }
+    }
+    delta
+}
+
+/// Non-targeted random edge injection as an [`Attack`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomAttack {
+    /// Perturbation rate δ: injects `⌊δ·|E|⌋` fake edges.
+    pub rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Attack for RandomAttack {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn plan(&self, graph: &AttributedGraph) -> AttackOutcome {
+        crate::random::random_attack(graph, self.rate, self.seed)
+    }
+}
+
+/// FGA gradient attack as an [`Attack`].
+#[derive(Clone, Debug)]
+pub struct FgaAttack {
+    /// Target nodes.
+    pub targets: Vec<usize>,
+    /// FGA hyperparameters.
+    pub config: crate::fga::FgaConfig,
+}
+
+impl Attack for FgaAttack {
+    fn name(&self) -> &'static str {
+        "fga"
+    }
+
+    fn plan(&self, graph: &AttributedGraph) -> AttackOutcome {
+        crate::fga::fga_attack(graph, &self.targets, &self.config)
+    }
+}
+
+/// NETTACK-style greedy margin attack as an [`Attack`].
+#[derive(Clone, Debug)]
+pub struct NettackAttack {
+    /// Target nodes.
+    pub targets: Vec<usize>,
+    /// NETTACK hyperparameters.
+    pub config: crate::nettack::NettackConfig,
+}
+
+impl Attack for NettackAttack {
+    fn name(&self) -> &'static str {
+        "nettack"
+    }
+
+    fn plan(&self, graph: &AttributedGraph) -> AttackOutcome {
+        crate::nettack::nettack_attack(graph, &self.targets, &self.config)
+    }
+}
+
+/// Community-outlier seeding as an [`Attack`].
+#[derive(Clone, Debug)]
+pub struct OutlierAttack {
+    /// Fraction of nodes to corrupt, in `[0, 0.5]`.
+    pub fraction: f64,
+    /// Outlier types to cycle through.
+    pub types: Vec<OutlierType>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Attack for OutlierAttack {
+    fn name(&self) -> &'static str {
+        "outliers"
+    }
+
+    fn plan(&self, graph: &AttributedGraph) -> AttackOutcome {
+        crate::outliers::seed_outliers(graph, self.fraction, &self.types, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aneci_graph::karate_club;
+
+    #[test]
+    fn malformed_flip_fails_typed_not_corrupting() {
+        let g = karate_club();
+        // Out-of-range endpoint: apply must reject with a typed Delta error
+        // and leave the input graph untouched.
+        let outcome = AttackOutcome {
+            delta: GraphDelta::new().add_edge(0, 999),
+            budget_spent: 1,
+            ..Default::default()
+        };
+        let err = outcome.apply(&g).unwrap_err();
+        assert!(matches!(err, GraphError::Delta(_)), "got {err:?}");
+        assert_eq!(g.num_edges(), 78, "input graph must be untouched");
+
+        // Self-loop flip: same typed failure.
+        let loops = AttackOutcome {
+            delta: GraphDelta::new().add_edge(3, 3),
+            budget_spent: 1,
+            ..Default::default()
+        };
+        assert!(matches!(loops.apply(&g), Err(GraphError::Delta(_))));
+
+        // Wrong-width attribute row: typed failure, no panic.
+        let bad_attrs = AttackOutcome {
+            delta: GraphDelta::new().set_attribute(0, vec![1.0]),
+            budget_spent: 1,
+            ..Default::default()
+        };
+        assert!(matches!(bad_attrs.apply(&g), Err(GraphError::Delta(_))));
+    }
+
+    #[test]
+    fn trait_object_attacks_compose() {
+        let g = karate_club();
+        let attacks: Vec<Box<dyn Attack>> = vec![Box::new(RandomAttack { rate: 0.1, seed: 5 })];
+        for atk in &attacks {
+            let (attacked, outcome) = atk.attack(&g).unwrap();
+            assert_eq!(atk.name(), "random");
+            assert_eq!(
+                attacked.num_edges(),
+                g.num_edges() + outcome.fake_edges().len()
+            );
+            assert_eq!(outcome.budget_spent, outcome.fake_edges().len());
+        }
+    }
+
+    #[test]
+    fn delta_between_reports_net_edit() {
+        let g = karate_club();
+        let edited = g.with_edits(&[(0, 9)], &[(0, 1)]);
+        let delta = delta_between(&g, &edited);
+        assert_eq!(delta.add_edges, vec![(0, 9)]);
+        assert_eq!(delta.remove_edges, vec![(0, 1)]);
+        assert!(delta.set_attributes.is_empty());
+        // Round-trips back onto the original.
+        let mut replayed = g.clone();
+        replayed.apply_delta(&delta).unwrap();
+        assert_eq!(replayed.edge_list(), edited.edge_list());
+    }
+}

@@ -14,6 +14,8 @@ use aneci_baselines::{GcnClassifier, GcnConfig};
 use aneci_graph::AttributedGraph;
 use aneci_linalg::DenseMatrix;
 
+use crate::attack::{delta_between, AttackOutcome};
+
 /// FGA hyperparameters.
 #[derive(Clone, Debug)]
 pub struct FgaConfig {
@@ -41,14 +43,6 @@ pub struct EdgeFlip {
     pub other: usize,
     /// True when the edge was added (false: removed).
     pub added: bool,
-}
-
-/// Outcome of a targeted attack.
-pub struct TargetedAttack {
-    /// The poisoned graph (all targets' flips applied).
-    pub graph: AttributedGraph,
-    /// Every flip, in application order.
-    pub flips: Vec<EdgeFlip>,
 }
 
 /// Dense normalized adjacency `D^-1/2 (A+I) D^-1/2` of a graph.
@@ -96,11 +90,7 @@ fn adjacency_gradient(
 /// Runs FGA against every target. The surrogate is trained once on the
 /// input graph; flips accumulate into a single poisoned graph (matching the
 /// paper's protocol of attacking all targets then retraining the victim).
-pub fn fga_attack(
-    graph: &AttributedGraph,
-    targets: &[usize],
-    config: &FgaConfig,
-) -> TargetedAttack {
+pub fn fga_attack(graph: &AttributedGraph, targets: &[usize], config: &FgaConfig) -> AttackOutcome {
     let labels = graph.labels.as_ref().expect("FGA needs labels").clone();
     let surrogate = GcnClassifier::fit(graph, &config.surrogate);
     let (w1, w2) = surrogate.weights();
@@ -141,9 +131,12 @@ pub fn fga_attack(
             });
         }
     }
-    TargetedAttack {
-        graph: working,
+    AttackOutcome {
+        delta: delta_between(graph, &working),
+        budget_spent: flips.len(),
+        targets: targets.to_vec(),
         flips,
+        outliers: Vec::new(),
     }
 }
 
@@ -177,7 +170,9 @@ mod tests {
         };
         let atk = fga_attack(&g, &targets, &cfg);
         assert!(atk.flips.len() <= 6);
-        atk.graph.validate().unwrap();
+        assert_eq!(atk.budget_spent, atk.flips.len());
+        assert_eq!(atk.targets, targets);
+        atk.apply(&g).unwrap().validate().unwrap();
         // Every flip is incident to its target (direct attack).
         for f in &atk.flips {
             assert!(targets.contains(&f.target));
@@ -196,8 +191,9 @@ mod tests {
             perturbations_per_target: 2,
         };
         let atk = fga_attack(&g, &targets, &cfg);
+        let attacked = atk.apply(&g).unwrap();
         for f in &atk.flips {
-            assert_eq!(atk.graph.has_edge(f.target, f.other), f.added);
+            assert_eq!(attacked.has_edge(f.target, f.other), f.added);
         }
         assert!(!atk.flips.is_empty());
     }
@@ -229,11 +225,11 @@ mod tests {
             },
             perturbations_per_target: 5,
         };
-        let atk = fga_attack(&g, &[target], &cfg);
+        let poisoned = fga_attack(&g, &[target], &cfg).apply(&g).unwrap();
         // Retrain the victim on the poisoned graph (poisoning protocol) and
         // compare the target's true-class probability.
         let victim = GcnClassifier::fit(
-            &atk.graph,
+            &poisoned,
             &GcnConfig {
                 epochs: 80,
                 ..Default::default()

@@ -12,17 +12,24 @@
 //!   seeding following ONE (Fig. 6);
 //! * [`targets`] — the paper's target-node selection rule (test nodes with
 //!   degree > 10).
+//!
+//! Every attack speaks the same type: it plans a
+//! [`GraphDelta`](aneci_graph::GraphDelta) wrapped in an
+//! [`AttackOutcome`] (see [`attack`]), so any attack composes with
+//! `apply_to_csr`, `HighOrder::refresh`, and the dynamic-serving pipeline.
 
+pub mod attack;
 pub mod fga;
 pub mod nettack;
 pub mod outliers;
 pub mod random;
 pub mod targets;
 
-pub use fga::{fga_attack, EdgeFlip, FgaConfig, TargetedAttack};
+pub use attack::{Attack, AttackOutcome, FgaAttack, NettackAttack, OutlierAttack, RandomAttack};
+pub use fga::{fga_attack, EdgeFlip, FgaConfig};
 pub use nettack::{nettack_attack, NettackConfig};
-pub use outliers::{seed_outliers, OutlierSeeding, OutlierType};
-pub use random::{random_attack, RandomAttack};
+pub use outliers::{seed_outliers, OutlierType};
+pub use random::random_attack;
 pub use targets::select_targets;
 
 #[cfg(test)]
@@ -51,12 +58,13 @@ mod proptests {
             let capacity = 16 * 15 / 2 - g.num_edges();
             prop_assume!(want <= capacity);
             let atk = random_attack(&g, rate, 7);
-            prop_assert_eq!(atk.fake_edges.len(), want);
-            prop_assert_eq!(atk.graph.num_edges(), g.num_edges() + want);
+            prop_assert_eq!(atk.fake_edges().len(), want);
+            let attacked = atk.apply(&g).unwrap();
+            prop_assert_eq!(attacked.num_edges(), g.num_edges() + want);
             for (u, v) in g.edge_list() {
-                prop_assert!(atk.graph.has_edge(u, v), "original edge ({u},{v}) lost");
+                prop_assert!(attacked.has_edge(u, v), "original edge ({u},{v}) lost");
             }
-            prop_assert!(atk.graph.validate().is_ok());
+            prop_assert!(attacked.validate().is_ok());
         }
 
         /// Outlier seeding preserves the node count, marks exactly the
@@ -79,13 +87,17 @@ mod proptests {
                 &[crate::outliers::OutlierType::Combined],
                 seed,
             );
-            prop_assert_eq!(s.graph.num_nodes(), 80);
-            let marked = s.is_outlier.iter().filter(|&&b| b).count();
+            let seeded = s.apply(&g).unwrap();
+            prop_assert_eq!(seeded.num_nodes(), 80);
+            let mask = s.outlier_mask(80);
+            let marked = mask.iter().filter(|&&b| b).count();
             prop_assert_eq!(marked, (80.0 * frac).round() as usize);
-            prop_assert!(s.graph.validate().is_ok());
+            prop_assert_eq!(s.budget_spent, marked);
+            prop_assert!(seeded.validate().is_ok());
             // Types recorded only at marked nodes.
+            let types = s.outlier_types(80);
             for i in 0..80 {
-                prop_assert_eq!(s.outlier_type[i].is_some(), s.is_outlier[i]);
+                prop_assert_eq!(types[i].is_some(), mask[i]);
             }
         }
     }

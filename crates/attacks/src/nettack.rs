@@ -20,7 +20,8 @@ use aneci_linalg::rng::{derive_seed, sample_distinct, seeded_rng, xavier_uniform
 use aneci_linalg::DenseMatrix;
 use std::collections::HashSet;
 
-use crate::fga::{EdgeFlip, TargetedAttack};
+use crate::attack::{delta_between, AttackOutcome};
+use crate::fga::EdgeFlip;
 
 /// NETTACK hyperparameters.
 #[derive(Clone, Debug)]
@@ -161,7 +162,7 @@ pub fn nettack_attack(
     graph: &AttributedGraph,
     targets: &[usize],
     config: &NettackConfig,
-) -> TargetedAttack {
+) -> AttackOutcome {
     let labels = graph.labels.as_ref().expect("NETTACK needs labels").clone();
     let n = graph.num_nodes();
     let w = train_linear_surrogate(graph, &config.surrogate);
@@ -205,7 +206,8 @@ pub fn nettack_attack(
         }
     }
 
-    // Materialize the poisoned graph.
+    // Materialize the poisoned graph to derive the net delta (flips across
+    // targets can overlap, so the flip list is not itself the net edit).
     let added: Vec<(usize, usize)> = flips
         .iter()
         .filter(|f| f.added)
@@ -217,9 +219,12 @@ pub fn nettack_attack(
         .map(|f| (f.target, f.other))
         .collect();
     let poisoned = graph.with_edits(&added, &removed);
-    TargetedAttack {
-        graph: poisoned,
+    AttackOutcome {
+        delta: delta_between(graph, &poisoned),
+        budget_spent: flips.len(),
+        targets: targets.to_vec(),
         flips,
+        outliers: Vec::new(),
     }
 }
 
@@ -287,16 +292,16 @@ mod tests {
             &target_logits(&AdjView::new(&g), &xw, target),
             labels[target],
         );
-        let atk = nettack_attack(&g, &[target], &cfg);
+        let attacked = nettack_attack(&g, &[target], &cfg).apply(&g).unwrap();
         let after = margin(
-            &target_logits(&AdjView::new(&atk.graph), &xw, target),
+            &target_logits(&AdjView::new(&attacked), &xw, target),
             labels[target],
         );
         assert!(
             after < before,
             "margin should fall: {before:.3} -> {after:.3}"
         );
-        atk.graph.validate().unwrap();
+        attacked.validate().unwrap();
     }
 
     #[test]
@@ -312,10 +317,12 @@ mod tests {
             ..Default::default()
         };
         let atk = nettack_attack(&g, &targets, &cfg);
+        let attacked = atk.apply(&g).unwrap();
         assert!(atk.flips.len() <= 4);
+        assert_eq!(atk.budget_spent, atk.flips.len());
         for f in &atk.flips {
             assert!(targets.contains(&f.target));
-            assert_eq!(atk.graph.has_edge(f.target, f.other), f.added);
+            assert_eq!(attacked.has_edge(f.target, f.other), f.added);
         }
     }
 

@@ -20,6 +20,8 @@ use aneci_linalg::rng::{derive_seed, sample_distinct, seeded_rng, shuffle};
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::attack::{delta_between, AttackOutcome};
+
 /// The three outlier classes of ONE / the paper's Fig. 6.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OutlierType {
@@ -29,16 +31,6 @@ pub enum OutlierType {
     Attribute,
     /// Both ("S&A").
     Combined,
-}
-
-/// Result of seeding.
-pub struct OutlierSeeding {
-    /// The corrupted graph.
-    pub graph: AttributedGraph,
-    /// True where the node was corrupted.
-    pub is_outlier: Vec<bool>,
-    /// The type planted at each corrupted node.
-    pub outlier_type: Vec<Option<OutlierType>>,
 }
 
 fn rewire_structural(graph: &mut AttributedGraph, node: usize, labels: &[usize], rng: &mut StdRng) {
@@ -86,7 +78,7 @@ pub fn seed_outliers(
     fraction: f64,
     types: &[OutlierType],
     seed: u64,
-) -> OutlierSeeding {
+) -> AttackOutcome {
     assert!(
         (0.0..=0.5).contains(&fraction),
         "outlier fraction must be in [0, 0.5]"
@@ -105,8 +97,7 @@ pub fn seed_outliers(
     shuffle(&mut chosen, &mut rng);
 
     let mut corrupted = graph.clone();
-    let mut is_outlier = vec![false; n];
-    let mut outlier_type = vec![None; n];
+    let mut outliers = Vec::with_capacity(chosen.len());
     for (i, &node) in chosen.iter().enumerate() {
         let ty = types[i % types.len()];
         match ty {
@@ -117,13 +108,14 @@ pub fn seed_outliers(
                 swap_attributes(&mut corrupted, node, &labels, &mut rng);
             }
         }
-        is_outlier[node] = true;
-        outlier_type[node] = Some(ty);
+        outliers.push((node, ty));
     }
-    OutlierSeeding {
-        graph: corrupted,
-        is_outlier,
-        outlier_type,
+    AttackOutcome {
+        delta: delta_between(graph, &corrupted),
+        budget_spent: outliers.len(),
+        targets: Vec::new(),
+        flips: Vec::new(),
+        outliers,
     }
 }
 
@@ -144,8 +136,13 @@ mod tests {
     fn seeds_requested_fraction() {
         let g = base_graph(1);
         let s = seed_outliers(&g, 0.05, &[OutlierType::Structural], 1);
-        assert_eq!(s.is_outlier.iter().filter(|&&b| b).count(), 10);
-        s.graph.validate().unwrap();
+        assert_eq!(s.outliers.len(), 10);
+        assert_eq!(s.budget_spent, 10);
+        assert_eq!(
+            s.outlier_mask(g.num_nodes()).iter().filter(|&&b| b).count(),
+            10
+        );
+        s.apply(&g).unwrap().validate().unwrap();
     }
 
     #[test]
@@ -153,21 +150,18 @@ mod tests {
         let g = base_graph(2);
         let labels = g.labels.clone().unwrap();
         let s = seed_outliers(&g, 0.05, &[OutlierType::Structural], 2);
+        let seeded = s.apply(&g).unwrap();
+        let types = s.outlier_types(g.num_nodes());
         for node in 0..g.num_nodes() {
-            if s.outlier_type[node] == Some(OutlierType::Structural) {
-                for v in s.graph.neighbors(node) {
-                    // Rewired neighbors may themselves have been rewired
-                    // toward this node later; only check edges this node
-                    // initiated, i.e. all-foreign is expected for most.
-                    let _ = v;
-                }
-                let foreign = s
-                    .graph
+            if types[node] == Some(OutlierType::Structural) {
+                // Rewired neighbors may themselves have been rewired toward
+                // this node later; all-foreign is expected for most.
+                let foreign = seeded
                     .neighbors(node)
                     .iter()
                     .filter(|&&v| labels[v] != labels[node])
                     .count();
-                let total = s.graph.degree(node).max(1);
+                let total = seeded.degree(node).max(1);
                 assert!(
                     foreign as f64 / total as f64 > 0.8,
                     "node {node}: only {foreign}/{total} foreign edges"
@@ -180,28 +174,31 @@ mod tests {
     fn structural_outliers_keep_attributes() {
         let g = base_graph(3);
         let s = seed_outliers(&g, 0.05, &[OutlierType::Structural], 3);
-        for node in 0..g.num_nodes() {
-            if s.is_outlier[node] {
-                assert_eq!(s.graph.features().row(node), g.features().row(node));
-            }
+        let seeded = s.apply(&g).unwrap();
+        for &(node, _) in &s.outliers {
+            assert_eq!(seeded.features().row(node), g.features().row(node));
         }
+        assert!(s.delta.set_attributes.is_empty());
     }
 
     #[test]
     fn attribute_outliers_keep_structure_but_change_features() {
         let g = base_graph(4);
         let s = seed_outliers(&g, 0.05, &[OutlierType::Attribute], 4);
+        let seeded = s.apply(&g).unwrap();
+        assert!(
+            !s.delta.touches_topology(),
+            "attribute seeding edited edges"
+        );
         let mut changed = 0;
-        for node in 0..g.num_nodes() {
-            if s.is_outlier[node] {
-                assert_eq!(
-                    s.graph.neighbors(node),
-                    g.neighbors(node),
-                    "structure changed"
-                );
-                if s.graph.features().row(node) != g.features().row(node) {
-                    changed += 1;
-                }
+        for &(node, _) in &s.outliers {
+            assert_eq!(
+                seeded.neighbors(node),
+                g.neighbors(node),
+                "structure changed"
+            );
+            if seeded.features().row(node) != g.features().row(node) {
+                changed += 1;
             }
         }
         // Donor rows are from other communities, so nearly all should differ.
@@ -212,18 +209,16 @@ mod tests {
     fn combined_outliers_change_both() {
         let g = base_graph(5);
         let s = seed_outliers(&g, 0.04, &[OutlierType::Combined], 5);
-        for node in 0..g.num_nodes() {
-            if s.is_outlier[node] {
-                // Edges rewired to foreign communities.
-                let labels = g.labels.as_ref().unwrap();
-                let foreign = s
-                    .graph
-                    .neighbors(node)
-                    .iter()
-                    .filter(|&&v| labels[v] != labels[node])
-                    .count();
-                assert!(foreign > 0 || s.graph.degree(node) == 0);
-            }
+        let seeded = s.apply(&g).unwrap();
+        let labels = g.labels.as_ref().unwrap();
+        for &(node, _) in &s.outliers {
+            // Edges rewired to foreign communities.
+            let foreign = seeded
+                .neighbors(node)
+                .iter()
+                .filter(|&&v| labels[v] != labels[node])
+                .count();
+            assert!(foreign > 0 || seeded.degree(node) == 0);
         }
     }
 
@@ -245,7 +240,7 @@ mod tests {
             OutlierType::Attribute,
             OutlierType::Combined,
         ]
-        .map(|t| s.outlier_type.iter().filter(|&&ty| ty == Some(t)).count());
+        .map(|t| s.outliers.iter().filter(|&&(_, ty)| ty == t).count());
         assert_eq!(counts, [4, 4, 4]);
     }
 
@@ -254,7 +249,7 @@ mod tests {
         let g = base_graph(7);
         let a = seed_outliers(&g, 0.05, &[OutlierType::Combined], 9);
         let b = seed_outliers(&g, 0.05, &[OutlierType::Combined], 9);
-        assert_eq!(a.is_outlier, b.is_outlier);
-        assert_eq!(a.graph.edge_list(), b.graph.edge_list());
+        assert_eq!(a.outliers, b.outliers);
+        assert_eq!(a.delta, b.delta);
     }
 }

@@ -4,25 +4,22 @@
 //! from the non-edges (`E* ∩ E = ∅`), matching the paper's definition of the
 //! random poisoning attack.
 
-use aneci_graph::AttributedGraph;
+use aneci_graph::{AttributedGraph, GraphDelta};
 use aneci_linalg::rng::{derive_seed, seeded_rng};
 use rand::Rng;
 
-/// Result of a random attack.
-pub struct RandomAttack {
-    /// The poisoned graph.
-    pub graph: AttributedGraph,
-    /// The injected fake edges `E*` (canonical `u < v`).
-    pub fake_edges: Vec<(usize, usize)>,
-}
+use crate::attack::AttackOutcome;
+use crate::fga::EdgeFlip;
 
-/// Injects `⌊rate·|E|⌋` uniformly random fake edges. Deterministic in
-/// `seed`.
+/// Plans `⌊rate·|E|⌋` uniformly random fake edges. Deterministic in
+/// `seed`. The outcome's `delta.add_edges` holds the fake edges in
+/// canonical `u < v` order of insertion; apply with
+/// [`AttackOutcome::apply`].
 ///
 /// # Panics
 /// Panics when `rate` is negative or the graph is too dense to host the
 /// requested number of new edges.
-pub fn random_attack(graph: &AttributedGraph, rate: f64, seed: u64) -> RandomAttack {
+pub fn random_attack(graph: &AttributedGraph, rate: f64, seed: u64) -> AttackOutcome {
     assert!(rate >= 0.0, "perturbation rate must be non-negative");
     let n = graph.num_nodes();
     let m = graph.num_edges();
@@ -48,10 +45,23 @@ pub fn random_attack(graph: &AttributedGraph, rate: f64, seed: u64) -> RandomAtt
         }
         fake.push(key);
     }
-    let attacked = graph.with_edits(&fake, &[]);
-    RandomAttack {
-        graph: attacked,
-        fake_edges: fake,
+    let flips = fake
+        .iter()
+        .map(|&(u, v)| EdgeFlip {
+            target: u,
+            other: v,
+            added: true,
+        })
+        .collect();
+    AttackOutcome {
+        budget_spent: fake.len(),
+        delta: GraphDelta {
+            add_edges: fake,
+            ..Default::default()
+        },
+        targets: Vec::new(),
+        flips,
+        outliers: Vec::new(),
     }
 }
 
@@ -64,44 +74,47 @@ mod tests {
     fn injects_exact_count_of_new_edges() {
         let g = karate_club();
         let atk = random_attack(&g, 0.25, 1);
+        let attacked = atk.apply(&g).unwrap();
         let want = (0.25_f64 * 78.0).floor() as usize;
-        assert_eq!(atk.fake_edges.len(), want);
-        assert_eq!(atk.graph.num_edges(), 78 + want);
+        assert_eq!(atk.fake_edges().len(), want);
+        assert_eq!(atk.budget_spent, want);
+        assert_eq!(attacked.num_edges(), 78 + want);
         // Every fake edge is new and now present.
-        for &(u, v) in &atk.fake_edges {
+        for &(u, v) in atk.fake_edges() {
             assert!(!g.has_edge(u, v));
-            assert!(atk.graph.has_edge(u, v));
+            assert!(attacked.has_edge(u, v));
         }
-        atk.graph.validate().unwrap();
+        attacked.validate().unwrap();
     }
 
     #[test]
     fn zero_rate_is_identity() {
         let g = karate_club();
         let atk = random_attack(&g, 0.0, 2);
-        assert!(atk.fake_edges.is_empty());
-        assert_eq!(atk.graph.edge_list(), g.edge_list());
+        assert!(atk.fake_edges().is_empty());
+        assert!(atk.delta.is_empty());
+        assert_eq!(atk.apply(&g).unwrap().edge_list(), g.edge_list());
     }
 
     #[test]
     fn deterministic_in_seed() {
         let g = karate_club();
         assert_eq!(
-            random_attack(&g, 0.3, 3).fake_edges,
-            random_attack(&g, 0.3, 3).fake_edges
+            random_attack(&g, 0.3, 3).fake_edges(),
+            random_attack(&g, 0.3, 3).fake_edges()
         );
         assert_ne!(
-            random_attack(&g, 0.3, 3).fake_edges,
-            random_attack(&g, 0.3, 4).fake_edges
+            random_attack(&g, 0.3, 3).fake_edges(),
+            random_attack(&g, 0.3, 4).fake_edges()
         );
     }
 
     #[test]
     fn features_and_labels_untouched() {
         let g = karate_club();
-        let atk = random_attack(&g, 0.5, 5);
-        assert_eq!(atk.graph.features(), g.features());
-        assert_eq!(atk.graph.labels, g.labels);
+        let attacked = random_attack(&g, 0.5, 5).apply(&g).unwrap();
+        assert_eq!(attacked.features(), g.features());
+        assert_eq!(attacked.labels, g.labels);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! * [`embedder`] — a uniform [`embedder::Embedder`] trait + default suite.
 
 pub mod deepwalk;
+pub mod defense;
 pub mod dgi;
 pub mod dominant;
 pub mod done;
@@ -34,6 +35,7 @@ pub mod sdne;
 pub mod spectral;
 
 pub use deepwalk::{deepwalk, random_walks, train_skipgram, DeepWalkConfig};
+pub use defense::RobustGcnDefense;
 pub use dgi::{Dgi, DgiConfig};
 pub use dominant::{Dominant, DominantConfig};
 pub use done::{Done, DoneConfig};

@@ -38,9 +38,21 @@
 //!   writing `BENCH_dynamic.json` and gating on zero dropped queries,
 //!   snapshot-swap pause p99 < 1 ms, and post-churn ANN recall@10 ≥ 0.95
 //!   (non-zero exit on failure, like `--kernels`).
+//! * `--robust` sweeps the robustness scenario matrix — every attack
+//!   (random, FGA, NETTACK, outlier seeding) × every defense (none, AnECI+,
+//!   smoothing, robust-GCN) × three perturbation budgets — on a labelled
+//!   SBM, writes `BENCH_robust.json` (defense-score table, NMI-retention
+//!   matrix, certification rate, query-time detection TPR/FPR), and gates
+//!   on: AnECI+ ≥ the undefended baseline on mean NMI retention at every
+//!   budget, smoothing certifying ≥ 60% of clean nodes, and the serving
+//!   detector flagging ≥ 80% of poisoned-neighborhood queries at ≤ 5% FPR
+//!   (non-zero exit on failure, like `--kernels`).
+//! * `--all` re-invokes this binary once per suite above (with `--scale`
+//!   capped at 10k nodes), streams their output, and exits non-zero if any
+//!   suite's gate fails — the one-command regression sweep.
 //!
 //! Run with `cargo run --release -p aneci-bench --bin bench_report
-//! [-- --kernels | -- --serve | -- --http | -- --obs | -- --train | -- --scale [N] | -- --dynamic]`.
+//! [-- --kernels | -- --serve | -- --http | -- --obs | -- --train | -- --scale [N] | -- --dynamic | -- --robust | -- --all]`.
 //! `ANECI_NUM_THREADS` caps the pooled measurements as usual;
 //! `ANECI_NO_SIMD=1` forces the scalar fallback (the `simd_vs_scalar`
 //! section then reports `active: false` and is excluded from the gate).
@@ -122,6 +134,10 @@ fn main() {
         train_bench();
     } else if args.iter().any(|a| a == "--dynamic") {
         dynamic_bench();
+    } else if args.iter().any(|a| a == "--robust") {
+        robust_bench();
+    } else if args.iter().any(|a| a == "--all") {
+        run_all_suites();
     } else if let Some(pos) = args.iter().position(|a| a == "--scale") {
         let max_nodes = args
             .get(pos + 1)
@@ -1522,5 +1538,366 @@ fn obs_bench() {
             lat.p50() / 1e3,
             lat.p99() / 1e3,
         );
+    }
+}
+
+/// `--robust`: the attack × defense × budget scenario matrix on a labelled
+/// SBM. Writes `BENCH_robust.json`; any gate failure exits non-zero.
+fn robust_bench() {
+    use aneci_attacks::{
+        select_targets, Attack, FgaAttack, FgaConfig, NettackAttack, NettackConfig, OutlierAttack,
+        OutlierType, RandomAttack,
+    };
+    use aneci_baselines::defense::RobustGcnDefense;
+    use aneci_baselines::robust_gcn::RobustGcnConfig;
+    use aneci_core::anomaly::defense_score;
+    use aneci_core::defense::{AneciPlus, Defense, NoDefense, SmoothedEncoder};
+    use aneci_core::{AneciConfig, DenoiseConfig, StopStrategy};
+    use aneci_eval::nmi;
+    use aneci_graph::{generate_sbm, sample_split, FeatureKind, SbmConfig};
+    use aneci_serve::engine::EngineConfig;
+    use aneci_serve::store::{EmbeddingStore, Metric};
+    use aneci_serve::QueryEngine;
+    use std::collections::BTreeSet;
+
+    pool::force_pool();
+    let t0 = Instant::now();
+    const SEED: u64 = 7;
+    const BUDGETS: [usize; 3] = [1, 2, 3];
+    const DETECT_K: usize = 10;
+    // Gate thresholds.
+    const CERT_GATE: f64 = 0.60;
+    const DETECT_TPR_GATE: f64 = 0.80;
+    const DETECT_FPR_GATE: f64 = 0.05;
+
+    let mut graph = generate_sbm(
+        &SbmConfig {
+            num_nodes: 120,
+            num_classes: 3,
+            target_edges: 700,
+            homophily: 0.9,
+            degree_exponent: None,
+            feature_dim: 40,
+            features: FeatureKind::BagOfWords {
+                p_signal: 0.3,
+                p_noise: 0.01,
+            },
+        },
+        SEED,
+    );
+    let labels = graph.labels.clone().unwrap();
+    // The surrogate-driven attacks and the GCN defense train on the split.
+    graph.set_split(sample_split(&labels, 10, 20, 60, SEED));
+
+    let config = AneciConfig {
+        hidden_dim: 16,
+        embed_dim: 3,
+        epochs: 40,
+        stop: StopStrategy::FixedEpochs,
+        seed: SEED,
+        ..Default::default()
+    };
+    let defenses: Vec<Box<dyn Defense>> = vec![
+        Box::new(NoDefense {
+            config: config.clone(),
+        }),
+        Box::new(AneciPlus {
+            config: config.clone(),
+            denoise: DenoiseConfig::default(),
+        }),
+        Box::new(SmoothedEncoder::with_config(config.clone())),
+        Box::new(RobustGcnDefense {
+            config: RobustGcnConfig {
+                epochs: 60,
+                seed: SEED,
+                ..Default::default()
+            },
+        }),
+    ];
+
+    let mut gate_failures: Vec<String> = Vec::new();
+
+    // Clean baselines: one defended run per defense on the unattacked graph.
+    let mut clean_nmi = std::collections::BTreeMap::new();
+    let mut cert_fraction_clean = 0.0;
+    let mut defense_rows = Vec::new();
+    for d in &defenses {
+        let out = d.defend(&graph).unwrap_or_else(|e| {
+            panic!("{} failed on the clean graph: {e}", d.name());
+        });
+        let score = nmi(&out.communities, &labels);
+        if d.name() == "smoothing" {
+            cert_fraction_clean = out.certified_fraction();
+        }
+        defense_rows.push(serde_json::json!({
+            "defense": d.name(),
+            "clean_nmi": score,
+            "certified_fraction": out.certified_fraction(),
+        }));
+        clean_nmi.insert(d.name().to_string(), score);
+        println!(
+            "  clean  {:<11} nmi {score:.3}  certified {:.2}",
+            d.name(),
+            out.certified_fraction()
+        );
+    }
+    if cert_fraction_clean < CERT_GATE {
+        gate_failures.push(format!(
+            "smoothing certifies only {cert_fraction_clean:.2} of clean nodes (< {CERT_GATE})"
+        ));
+    }
+
+    // The full sweep: every attack × budget, every defense on the result.
+    let targets = select_targets(&graph, 10, 8);
+    let mut matrix = Vec::new();
+    // retention[defense][budget-1] — mean NMI retention across attacks.
+    let mut retention_sum = std::collections::BTreeMap::<String, [f64; 3]>::new();
+    let mut last_outlier_run = None;
+    for &budget in &BUDGETS {
+        let attacks: Vec<Box<dyn Attack>> = vec![
+            Box::new(RandomAttack {
+                rate: 0.1 * budget as f64,
+                seed: SEED,
+            }),
+            Box::new(FgaAttack {
+                targets: targets.clone(),
+                config: FgaConfig {
+                    perturbations_per_target: budget,
+                    ..Default::default()
+                },
+            }),
+            Box::new(NettackAttack {
+                targets: targets.clone(),
+                config: NettackConfig {
+                    perturbations_per_target: budget,
+                    seed: SEED,
+                    ..Default::default()
+                },
+            }),
+            Box::new(OutlierAttack {
+                fraction: 0.05 * budget as f64,
+                types: vec![OutlierType::Structural],
+                seed: SEED,
+            }),
+        ];
+        for atk in &attacks {
+            let (attacked, outcome) = atk.attack(&graph).unwrap_or_else(|e| {
+                panic!("{} (budget {budget}) produced a bad delta: {e}", atk.name());
+            });
+            let fakes: BTreeSet<(usize, usize)> = outcome
+                .fake_edges()
+                .iter()
+                .map(|&(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            let clean_edges: Vec<(usize, usize)> = attacked
+                .edge_list()
+                .into_iter()
+                .filter(|&(u, v)| !fakes.contains(&(u.min(v), u.max(v))))
+                .collect();
+            let fake_edges: Vec<(usize, usize)> = fakes.iter().copied().collect();
+            for d in &defenses {
+                let out = d.defend(&attacked).unwrap_or_else(|e| {
+                    panic!("{} failed under {} attack: {e}", d.name(), atk.name());
+                });
+                let score = nmi(&out.communities, &labels);
+                let base = clean_nmi[d.name()];
+                let retention = if base > 0.0 { score / base } else { 0.0 };
+                let ds = defense_score(&out.embedding, &clean_edges, &fake_edges);
+                retention_sum.entry(d.name().to_string()).or_default()[budget - 1] += retention;
+                matrix.push(serde_json::json!({
+                    "attack": atk.name(),
+                    "budget": budget,
+                    "defense": d.name(),
+                    "nmi": score,
+                    "nmi_retention": retention,
+                    "defense_score": ds,
+                    "budget_spent": outcome.budget_spent,
+                }));
+                println!(
+                    "  {:<8} b{budget}  {:<11} nmi {score:.3}  retention {retention:.3}  DS {ds:.3}",
+                    atk.name(),
+                    d.name(),
+                );
+                if atk.name() == "outliers"
+                    && d.name() == "none"
+                    && budget == *BUDGETS.last().unwrap()
+                {
+                    last_outlier_run = Some((out, outcome.outlier_mask(graph.num_nodes())));
+                }
+            }
+        }
+    }
+    let attacks_per_cell = 4.0;
+    let mut retention_means = std::collections::BTreeMap::<String, Vec<f64>>::new();
+    for (name, sums) in &retention_sum {
+        let means: Vec<f64> = sums.iter().map(|s| s / attacks_per_cell).collect();
+        retention_means.insert(name.clone(), means);
+    }
+    for (i, &budget) in BUDGETS.iter().enumerate() {
+        let plus = retention_sum["aneci_plus"][i] / attacks_per_cell;
+        let none = retention_sum["none"][i] / attacks_per_cell;
+        if plus + 1e-9 < none {
+            gate_failures.push(format!(
+                "AnECI+ mean NMI retention {plus:.3} below the undefended {none:.3} at budget {budget}"
+            ));
+        }
+    }
+
+    // Query-time poisoned-neighborhood detection: serve the undefended
+    // embedding of the heaviest outlier run with its real anomaly scores,
+    // calibrate θ on the clean-node score distribution (95th percentile, so
+    // per-node FPR is bounded by construction), and measure the flag rate
+    // over queries whose true top-k mass sits on planted outliers.
+    let (out, truth) = last_outlier_run.expect("outlier cell missing from sweep");
+    let clean_scores: Vec<f64> = out
+        .anomaly_scores
+        .iter()
+        .zip(&truth)
+        .filter(|&(_, &is_outlier)| !is_outlier)
+        .map(|(&s, _)| s)
+        .collect();
+    let theta = {
+        let mut sorted = clean_scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)]
+    };
+    let store = EmbeddingStore::new(out.embedding.clone(), Some(out.membership.clone()))
+        .with_anomaly_scores(out.anomaly_scores.clone());
+    let engine = QueryEngine::new(
+        store,
+        EngineConfig::builder()
+            .suspect_score(theta)
+            .suspect_mass(0.5)
+            .default_k(DETECT_K)
+            .build()
+            .unwrap(),
+    );
+    let snap = engine.snapshot();
+    let (mut poisoned, mut flagged_poisoned, mut clean, mut flagged_clean) =
+        (0u32, 0u32, 0u32, 0u32);
+    for node in 0..snap.store.num_nodes() {
+        let hits = snap.store.top_k_node(node, DETECT_K, Metric::Cosine);
+        let (mut mass, mut hot) = (0.0f64, 0.0f64);
+        for &(id, score) in &hits {
+            let m = score.max(0.0);
+            mass += m;
+            if truth[id] {
+                hot += m;
+            }
+        }
+        let truly_poisoned = mass > 0.0 && hot / mass >= 0.5;
+        let resp = engine.run_line(&format!(r#"{{"op":"top_k","node":{node},"k":{DETECT_K}}}"#));
+        let is_flagged = resp.contains(r#""suspect":true"#);
+        if truly_poisoned {
+            poisoned += 1;
+            flagged_poisoned += u32::from(is_flagged);
+        } else {
+            clean += 1;
+            flagged_clean += u32::from(is_flagged);
+        }
+    }
+    let tpr = if poisoned > 0 {
+        f64::from(flagged_poisoned) / f64::from(poisoned)
+    } else {
+        0.0
+    };
+    let fpr = if clean > 0 {
+        f64::from(flagged_clean) / f64::from(clean)
+    } else {
+        0.0
+    };
+    println!(
+        "  detect θ {theta:.3}: {flagged_poisoned}/{poisoned} poisoned-neighborhood queries flagged \
+         (TPR {tpr:.2}), {flagged_clean}/{clean} clean flagged (FPR {fpr:.3})"
+    );
+    if poisoned == 0 {
+        gate_failures.push("no poisoned-neighborhood queries to detect".into());
+    }
+    if tpr < DETECT_TPR_GATE {
+        gate_failures.push(format!(
+            "detection TPR {tpr:.2} below {DETECT_TPR_GATE} ({flagged_poisoned}/{poisoned} flagged)"
+        ));
+    }
+    if fpr > DETECT_FPR_GATE {
+        gate_failures.push(format!(
+            "detection FPR {fpr:.3} above {DETECT_FPR_GATE} ({flagged_clean}/{clean} clean queries flagged)"
+        ));
+    }
+
+    let report = serde_json::json!({
+        "bench": "robust",
+        "graph": {"nodes": 120, "classes": 3, "edges": graph.num_edges(), "seed": SEED},
+        "budgets": BUDGETS,
+        "defenses": defense_rows,
+        "matrix": matrix,
+        "nmi_retention_mean_by_budget": retention_means,
+        "detection": {
+            "theta": theta,
+            "suspect_mass": 0.5,
+            "k": DETECT_K,
+            "poisoned_queries": poisoned,
+            "flagged_poisoned": flagged_poisoned,
+            "clean_queries": clean,
+            "flagged_clean": flagged_clean,
+            "tpr": tpr,
+            "fpr": fpr,
+        },
+        "gates": {
+            "aneci_plus_retention_beats_none_every_budget": true,
+            "smoothing_cert_gate": CERT_GATE,
+            "detection_tpr_gate": DETECT_TPR_GATE,
+            "detection_fpr_gate": DETECT_FPR_GATE,
+        },
+        "gate_failures": gate_failures,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robust.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n")
+        .expect("failed to write BENCH_robust.json");
+    println!(
+        "wrote {path} in {:.1} s ({} matrix cells)",
+        t0.elapsed().as_secs_f64(),
+        matrix.len()
+    );
+
+    if !gate_failures.is_empty() {
+        eprintln!("ROBUSTNESS GATE FAILURES:");
+        for failure in &gate_failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// `--all`: re-invokes this binary once per suite and fails if any fails.
+/// Subprocesses keep each suite's `std::process::exit` gate semantics (and
+/// its obs registry) isolated while one command drives the whole sweep.
+fn run_all_suites() {
+    let exe = std::env::current_exe().expect("cannot locate bench_report binary");
+    let suites: &[&[&str]] = &[
+        &["--kernels"],
+        &["--serve"],
+        &["--http"],
+        &["--obs"],
+        &["--train"],
+        &["--dynamic"],
+        &["--robust"],
+        &["--scale", "10000"],
+    ];
+    let mut failed = Vec::new();
+    for suite in suites {
+        println!("=== bench_report {} ===", suite.join(" "));
+        let status = std::process::Command::new(&exe)
+            .args(*suite)
+            .status()
+            .unwrap_or_else(|e| panic!("spawning {} failed: {e}", suite.join(" ")));
+        if !status.success() {
+            failed.push(suite.join(" "));
+        }
+    }
+    if failed.is_empty() {
+        println!("all {} suites passed their gates", suites.len());
+    } else {
+        eprintln!("{} suite(s) failed: {}", failed.len(), failed.join(", "));
+        std::process::exit(1);
     }
 }

@@ -26,43 +26,37 @@ pub fn run(args: &ExpArgs) {
                 let seed = derive_seed(args.seed, (round * 1000) as u64 + (delta * 100.0) as u64);
                 let graph = dataset.generate(args.scale, seed);
                 let attack = random_attack(&graph, delta, seed);
+                let poisoned = attack.apply(&graph).expect("random attack delta");
+                let fake_edges = attack.fake_edges();
                 let clean_edges = graph.edge_list();
 
                 let z_line = line(
-                    &attack.graph,
+                    &poisoned,
                     &LineConfig {
                         dim: 16,
                         seed,
                         ..Default::default()
                     },
                 );
-                scores[0].push(defense_score(&z_line, &clean_edges, &attack.fake_edges));
+                scores[0].push(defense_score(&z_line, &clean_edges, fake_edges));
 
                 let gae = Gae::fit(
-                    &attack.graph,
+                    &poisoned,
                     &GaeConfig {
                         seed,
                         ..Default::default()
                     },
                 );
-                scores[1].push(defense_score(
-                    gae.embedding(),
-                    &clean_edges,
-                    &attack.fake_edges,
-                ));
+                scores[1].push(defense_score(gae.embedding(), &clean_edges, fake_edges));
 
                 let dgi = Dgi::fit(
-                    &attack.graph,
+                    &poisoned,
                     &DgiConfig {
                         seed,
                         ..Default::default()
                     },
                 );
-                scores[2].push(defense_score(
-                    dgi.embedding(),
-                    &clean_edges,
-                    &attack.fake_edges,
-                ));
+                scores[2].push(defense_score(dgi.embedding(), &clean_edges, fake_edges));
 
                 let config = AneciConfig {
                     epochs: 150,
@@ -70,12 +64,8 @@ pub fn run(args: &ExpArgs) {
                     seed,
                     ..Default::default()
                 };
-                let (model, _) = train_aneci(&attack.graph, &config).unwrap();
-                scores[3].push(defense_score(
-                    model.embedding(),
-                    &clean_edges,
-                    &attack.fake_edges,
-                ));
+                let (model, _) = train_aneci(&poisoned, &config).unwrap();
+                scores[3].push(defense_score(model.embedding(), &clean_edges, fake_edges));
             }
             let m: Vec<f64> = scores.iter().map(|s| mean(s)).collect();
             rows.push(vec![

@@ -26,7 +26,9 @@ pub fn run(args: &ExpArgs) {
             for round in 0..args.rounds {
                 let seed = derive_seed(args.seed, (ratio * 1000.0) as u64 + round as u64);
                 let graph = dataset.generate(args.scale, seed);
-                let poisoned = random_attack(&graph, ratio, seed).graph;
+                let poisoned = random_attack(&graph, ratio, seed)
+                    .apply(&graph)
+                    .expect("random attack delta");
                 eprintln!(
                     "[fig5] {} ratio {:.1} round {}",
                     dataset.name(),

@@ -62,12 +62,13 @@ pub fn run(args: &ExpArgs) {
             for round in 0..args.rounds {
                 let seed = derive_seed(args.seed, (round * 10) as u64);
                 let graph = dataset.generate(args.scale, seed);
-                let seeded = seed_outliers(&graph, 0.05, types, seed);
-                let truth = &seeded.is_outlier;
+                let outcome = seed_outliers(&graph, 0.05, types, seed);
+                let seeded = outcome.apply(&graph).expect("outlier delta");
+                let truth = &outcome.outlier_mask(graph.num_nodes());
                 eprintln!("[fig6] {} panel {} round {}", dataset.name(), panel, round);
 
                 let z = deepwalk(
-                    &seeded.graph,
+                    &seeded,
                     &DeepWalkConfig {
                         seed,
                         ..Default::default()
@@ -76,7 +77,7 @@ pub fn run(args: &ExpArgs) {
                 per_method[0].push(iforest_auc(&z, truth, seed));
 
                 let gae = Gae::fit(
-                    &seeded.graph,
+                    &seeded,
                     &GaeConfig {
                         seed,
                         ..Default::default()
@@ -85,7 +86,7 @@ pub fn run(args: &ExpArgs) {
                 per_method[1].push(iforest_auc(gae.embedding(), truth, seed));
 
                 let dgi = Dgi::fit(
-                    &seeded.graph,
+                    &seeded,
                     &DgiConfig {
                         seed,
                         ..Default::default()
@@ -94,7 +95,7 @@ pub fn run(args: &ExpArgs) {
                 per_method[2].push(iforest_auc(dgi.embedding(), truth, seed));
 
                 let dom = Dominant::fit(
-                    &seeded.graph,
+                    &seeded,
                     &DominantConfig {
                         seed,
                         ..Default::default()
@@ -103,7 +104,7 @@ pub fn run(args: &ExpArgs) {
                 per_method[3].push(auc(dom.anomaly_scores(), truth));
 
                 let done = Done::fit(
-                    &seeded.graph,
+                    &seeded,
                     &DoneConfig {
                         seed,
                         ..Default::default()
@@ -119,8 +120,8 @@ pub fn run(args: &ExpArgs) {
                     seed,
                     ..AneciConfig::for_anomaly_detection(k, 20, seed)
                 };
-                let (model, _) = train_aneci(&seeded.graph, &config).unwrap();
-                let scores = combined_anomaly_scores(&model.membership(), &seeded.graph);
+                let (model, _) = train_aneci(&seeded, &config).unwrap();
+                let scores = combined_anomaly_scores(&model.membership(), &seeded);
                 per_method[5].push(auc(&scores, truth));
             }
             let means: Vec<f64> = per_method.iter().map(|s| mean(s)).collect();

@@ -22,7 +22,9 @@ pub fn run(args: &ExpArgs) {
         for round in 0..args.rounds {
             let seed = derive_seed(args.seed, (hops * 100 + round) as u64);
             let graph = dataset.generate(args.scale, seed);
-            let attacked = random_attack(&graph, 0.2, seed).graph;
+            let attacked = random_attack(&graph, 0.2, seed)
+                .apply(&graph)
+                .expect("random attack delta");
             let config = AneciConfig {
                 proximity: ProximityConfig::uniform(hops),
                 epochs: 150,

@@ -105,7 +105,7 @@ pub fn run(args: &ExpArgs) {
         let seed = derive_seed(args.seed, round as u64 + 4000);
         let graph = dataset.generate(args.scale, seed);
         let k = graph.num_classes().max(2);
-        let seeded = seed_outliers(
+        let outcome = seed_outliers(
             &graph,
             0.05,
             &[
@@ -115,6 +115,8 @@ pub fn run(args: &ExpArgs) {
             ],
             seed,
         );
+        let seeded = outcome.apply(&graph).expect("outlier delta");
+        let truth = outcome.outlier_mask(graph.num_nodes());
         eprintln!("[table4] {} round {round}", dataset.name());
 
         for (slot, variant) in Variant::ALL.iter().enumerate() {
@@ -123,7 +125,7 @@ pub fn run(args: &ExpArgs) {
             acc[slot].push(classify(&graph, &z, seed));
 
             // Anomaly detection on the seeded graph.
-            let z_anom = variant.embed(&seeded.graph, seed);
+            let z_anom = variant.embed(&seeded, seed);
             let scores = isolation_forest_scores(
                 &z_anom,
                 &IsolationForestConfig {
@@ -131,7 +133,7 @@ pub fn run(args: &ExpArgs) {
                     ..Default::default()
                 },
             );
-            auc_scores[slot].push(auc(&scores, &seeded.is_outlier));
+            auc_scores[slot].push(auc(&scores, &truth));
 
             // Community detection on the clean graph.
             let partition = kmeans_best_of(&z, k, 100, 5, seed).assignments;

@@ -7,7 +7,7 @@
 
 use crate::{classify_subset, print_table, write_csv, ExpArgs};
 use aneci_attacks::{
-    fga_attack, nettack_attack, select_targets, FgaConfig, NettackConfig, TargetedAttack,
+    fga_attack, nettack_attack, select_targets, AttackOutcome, FgaConfig, NettackConfig,
 };
 use aneci_baselines::{Dgi, DgiConfig, Gae, GaeConfig, GcnClassifier, GcnConfig};
 use aneci_core::{aneci_plus, train_aneci, AneciConfig, DenoiseConfig, StopStrategy};
@@ -38,7 +38,7 @@ impl AttackKind {
         targets: &[usize],
         budget: usize,
         seed: u64,
-    ) -> TargetedAttack {
+    ) -> AttackOutcome {
         match self {
             Self::Nettack => nettack_attack(
                 graph,
@@ -143,8 +143,11 @@ pub fn run(args: &ExpArgs, kind: AttackKind) {
                     round,
                     targets.len()
                 );
-                let attack = kind.attack(&graph, &targets, budget, seed);
-                let accs = victim_accuracies(&attack.graph, &targets, seed);
+                let poisoned = kind
+                    .attack(&graph, &targets, budget, seed)
+                    .apply(&graph)
+                    .expect("targeted attack delta");
+                let accs = victim_accuracies(&poisoned, &targets, seed);
                 for (slot, a) in accs.into_iter().enumerate() {
                     per_method[slot].push(a);
                 }

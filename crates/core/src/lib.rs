@@ -36,6 +36,7 @@
 pub mod anomaly;
 pub mod checkpoint;
 pub mod config;
+pub mod defense;
 pub mod denoise;
 pub mod error;
 pub mod minibatch;
@@ -48,6 +49,7 @@ pub use anomaly::{
 };
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{AneciConfig, AneciConfigBuilder, ReconMode, StopStrategy};
+pub use defense::{AneciPlus, Defense, DefenseOutcome, NoDefense, SmoothedEncoder};
 pub use denoise::{aneci_plus, DenoiseConfig, DenoiseResult};
 pub use error::AneciError;
 pub use minibatch::{BatchStrategy, MiniBatchTrainer};

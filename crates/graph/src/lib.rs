@@ -29,7 +29,7 @@ pub mod stats;
 pub mod streaming;
 
 pub use attributed::{AttributedGraph, Split};
-pub use delta::{DeltaReport, GraphDelta, GraphError};
+pub use delta::{apply_to_csr, apply_to_features, DeltaReport, GraphDelta, GraphError};
 pub use generators::{generate_sbm, sample_split, Benchmark, FeatureKind, SbmConfig};
 pub use karate::karate_club;
 pub use lfr::{generate_lfr, LfrConfig};

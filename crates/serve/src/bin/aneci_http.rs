@@ -19,6 +19,8 @@
 //!   --threads <n>      aneci-linalg pool threads for batch execution
 //!   --delta-log <path> persist applied /v1/admin/reindex updates here and
 //!                      replay them at startup (crash-safe dynamic serving)
+//!   --admin-attack     expose the test-only POST /v1/admin/attack route
+//!                      (anomaly-score injection for detection rehearsals)
 //! ```
 //!
 //! Routes (versioned): `GET /v1/healthz`, `GET /v1/metrics`,
@@ -51,12 +53,14 @@ struct Args {
     cache: usize,
     threads: Option<usize>,
     delta_log: Option<String>,
+    admin_attack: bool,
 }
 
 fn usage() -> String {
     "usage: aneci_http <checkpoint.aneci> [--addr HOST:PORT] [--addr-file FILE] \
      [--workers N] [--queue N] [--idle-ms N] [--no-keepalive] [--ann] [--ef N] \
-     [--k N] [--metric cosine|dot] [--cache N] [--threads N] [--delta-log FILE]"
+     [--k N] [--metric cosine|dot] [--cache N] [--threads N] [--delta-log FILE] \
+     [--admin-attack]"
         .to_string()
 }
 
@@ -81,6 +85,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cache: 1024,
         threads: None,
         delta_log: None,
+        admin_attack: false,
     };
     let mut it = argv.iter();
     let mut positional = Vec::new();
@@ -103,6 +108,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--cache" => args.cache = parse_num(&value_of("--cache")?, "--cache")?,
             "--threads" => args.threads = Some(parse_num(&value_of("--threads")?, "--threads")?),
             "--delta-log" => args.delta_log = Some(value_of("--delta-log")?),
+            "--admin-attack" => args.admin_attack = true,
             "--metric" => {
                 let m = value_of("--metric")?;
                 args.metric = Metric::parse(&m)
@@ -178,8 +184,12 @@ fn run() -> Result<(), String> {
             .unwrap_or_else(|| args.workers.map_or(defaults.queue_capacity, |w| w * 4)),
         keep_alive: args.keep_alive,
         idle_timeout: Duration::from_millis(args.idle_ms.max(1)),
+        admin_attack: args.admin_attack,
         ..defaults
     };
+    if args.admin_attack {
+        eprintln!("WARNING: test-only POST /v1/admin/attack route is exposed");
+    }
     let workers = config.workers;
     let queue = config.queue_capacity;
     let handle = HttpServer::start(engine, config, args.addr.as_str())

@@ -26,14 +26,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-use aneci_core::AneciError;
+use aneci_core::{AneciError, CheckpointError};
 use aneci_linalg::pool;
 use aneci_linalg::DenseMatrix;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::LruCache;
 use crate::hnsw::{HnswConfig, HnswIndex};
-use crate::snapshot::{Snapshot, SnapshotHandle, SnapshotUpdate, StoreGuard};
+use crate::snapshot::{Snapshot, SnapshotHandle, SnapshotUpdate};
 use crate::store::{EmbeddingStore, Metric};
 
 /// A single query, tagged by `"op"`. This is the one typed request shape
@@ -162,6 +162,13 @@ pub enum Response {
         /// `true` when answered by the exact brute-force path, `false` when
         /// answered by the ANN index.
         exact: bool,
+        /// Poisoned-neighborhood verdict: `Some(true)` when the response's
+        /// top-k mass concentrates on high-anomaly nodes, `Some(false)`
+        /// when checked and clean, `None` when the snapshot carries no
+        /// anomaly scores. Omitted from the serialized form when `None`, so
+        /// responses from unscored stores are byte-identical to before.
+        #[serde(skip_serializing_if = "Option::is_none", default)]
+        suspect: Option<bool>,
     },
     Community {
         node: usize,
@@ -212,6 +219,13 @@ pub struct EngineConfig {
     /// one JSON line, and [`QueryEngine::try_new`] replays the file at
     /// startup so acknowledged updates survive a restart.
     pub delta_log: Option<PathBuf>,
+    /// Anomaly score above which a node counts as *anomalous* for the
+    /// poisoned-neighborhood detector (θ). Only consulted when the snapshot
+    /// carries anomaly scores.
+    pub suspect_score: f64,
+    /// Fraction of a top-k response's score mass that must land on
+    /// anomalous nodes before the response is flagged `suspect` (φ).
+    pub suspect_mass: f64,
 }
 
 impl Default for EngineConfig {
@@ -225,6 +239,8 @@ impl Default for EngineConfig {
             cache_capacity: 0,
             compact_threshold: 0.25,
             delta_log: None,
+            suspect_score: 0.7,
+            suspect_mass: 0.5,
         }
     }
 }
@@ -254,6 +270,12 @@ impl EngineConfig {
         }
         if !(0.0..=1.0).contains(&self.compact_threshold) {
             return bad("compact_threshold must lie in [0, 1]");
+        }
+        if !(0.0..=1.0).contains(&self.suspect_score) {
+            return bad("suspect_score must lie in [0, 1]");
+        }
+        if !(0.0..=1.0).contains(&self.suspect_mass) {
+            return bad("suspect_mass must lie in [0, 1]");
         }
         Ok(())
     }
@@ -328,6 +350,18 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Anomaly threshold θ for the poisoned-neighborhood detector.
+    pub fn suspect_score(mut self, v: f64) -> Self {
+        self.config.suspect_score = v;
+        self
+    }
+
+    /// Mass fraction φ above which a top-k response is flagged suspect.
+    pub fn suspect_mass(mut self, v: f64) -> Self {
+        self.config.suspect_mass = v;
+        self
+    }
+
     /// Validates and returns the finished configuration.
     pub fn build(self) -> Result<EngineConfig, AneciError> {
         self.config.validate()?;
@@ -344,6 +378,8 @@ struct EngineMetrics {
     cache_misses: aneci_obs::Counter,
     reindexes: aneci_obs::Counter,
     reindex_ns: aneci_obs::Histogram,
+    robust_checked: aneci_obs::Counter,
+    robust_flagged: aneci_obs::Counter,
 }
 
 impl EngineMetrics {
@@ -355,6 +391,8 @@ impl EngineMetrics {
             cache_misses: aneci_obs::counter("serve.cache.misses"),
             reindexes: aneci_obs::counter("serve.reindexes"),
             reindex_ns: aneci_obs::histogram_time_ns("serve.reindex_ns"),
+            robust_checked: aneci_obs::counter("serve.robust.checked"),
+            robust_flagged: aneci_obs::counter("serve.robust.flagged"),
         }
     }
 }
@@ -429,12 +467,16 @@ impl QueryEngine {
             if line.is_empty() {
                 continue;
             }
+            // A record that doesn't parse is a corrupt or truncated log —
+            // a checkpoint-integrity failure, not a configuration mistake —
+            // so it surfaces as the same typed error class the `.aneci`
+            // checkpoint reader uses.
             let update: SnapshotUpdate = serde_json::from_str(line).map_err(|e| {
-                AneciError::Config(format!(
-                    "delta log {}:{}: bad update: {e}",
+                AneciError::Checkpoint(CheckpointError::Format(format!(
+                    "delta log {}:{}: corrupt or truncated record: {e}",
                     path.display(),
                     lineno + 1
-                ))
+                )))
             })?;
             self.apply_update(&update).map_err(|(_, msg)| {
                 AneciError::Config(format!(
@@ -463,13 +505,41 @@ impl QueryEngine {
         self.reindexing.load(Ordering::SeqCst)
     }
 
-    /// The underlying store, pinned at the current generation.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `snapshot()` to pin a whole generation (store + ANN + generation number)"
-    )]
-    pub fn store(&self) -> StoreGuard {
-        StoreGuard(self.snapshot.load())
+    /// Overwrites the anomaly scores of `targets` in a fresh generation —
+    /// the test-only attack-injection hook behind the HTTP front end's
+    /// gated `POST /v1/admin/attack` route. Embeddings, membership, and
+    /// tombstones are untouched; only the detector's input changes, so
+    /// operators can rehearse poisoned-neighborhood detection (and watch
+    /// `serve.robust.*` move) without retraining.
+    pub fn inject_anomalies(
+        &self,
+        targets: &[usize],
+        score: f64,
+    ) -> Result<u64, (ErrorCode, String)> {
+        if !(0.0..=1.0).contains(&score) {
+            return Err((
+                ErrorCode::BadRequest,
+                format!("anomaly score must lie in [0, 1]: {score}"),
+            ));
+        }
+        let snap = self.snapshot.load();
+        let n = snap.store.num_nodes();
+        if let Some(&bad) = targets.iter().find(|&&t| t >= n) {
+            return Err((
+                ErrorCode::NotFound,
+                format!("target {bad} out of range (store has {n} nodes)"),
+            ));
+        }
+        let mut scores = snap
+            .store
+            .anomaly_scores()
+            .map(<[f64]>::to_vec)
+            .unwrap_or_else(|| vec![0.0; n]);
+        for &t in targets {
+            scores[t] = score;
+        }
+        let store = snap.store.clone().with_anomaly_scores(scores);
+        Ok(self.snapshot.publish(store, snap.ann.clone()))
     }
 
     /// Applies one [`SnapshotUpdate`]: builds the next snapshot off the
@@ -632,6 +702,7 @@ impl QueryEngine {
             Some(idx) => (idx.search(query, k, self.config.ef_search, exclude), false),
             None => (snap.store.top_k(query, k, metric, exclude), true),
         };
+        let suspect = self.check_suspect(snap, &hits);
         Response::Neighbors {
             neighbors: hits
                 .into_iter()
@@ -639,7 +710,42 @@ impl QueryEngine {
                 .collect(),
             metric: metric.name().to_string(),
             exact,
+            suspect,
         }
+    }
+
+    /// Poisoned-neighborhood detection: flags a top-k result whose score
+    /// mass concentrates on high-anomaly nodes. Mass is `max(score, 0)` per
+    /// neighbor (negative similarities carry no mass); when the whole
+    /// result has zero positive mass the anomalous-node *count* fraction
+    /// decides instead. Returns `None` (and touches no counters) when the
+    /// snapshot carries no anomaly scores.
+    fn check_suspect(&self, snap: &Snapshot, hits: &[(usize, f64)]) -> Option<bool> {
+        let anomaly = snap.store.anomaly_scores()?;
+        self.metrics.robust_checked.inc();
+        if hits.is_empty() {
+            return Some(false);
+        }
+        let theta = self.config.suspect_score;
+        let (mut mass, mut hot_mass, mut hot_count) = (0.0f64, 0.0f64, 0usize);
+        for &(node, score) in hits {
+            let m = score.max(0.0);
+            mass += m;
+            if anomaly[node] > theta {
+                hot_mass += m;
+                hot_count += 1;
+            }
+        }
+        let fraction = if mass > 0.0 {
+            hot_mass / mass
+        } else {
+            hot_count as f64 / hits.len() as f64
+        };
+        let flagged = fraction >= self.config.suspect_mass;
+        if flagged {
+            self.metrics.robust_flagged.inc();
+        }
+        Some(flagged)
     }
 
     /// Parses and executes one JSONL line, returning the serialized
@@ -805,7 +911,15 @@ fn build_next_snapshot(
         md.resize(rows * m.cols(), 0.0);
         DenseMatrix::from_vec(rows, m.cols(), md)
     });
-    let store = EmbeddingStore::with_tombstones(embedding, membership, Some(deleted));
+    let mut store = EmbeddingStore::with_tombstones(embedding, membership, Some(deleted));
+    // Anomaly scores ride along so the poisoned-neighborhood detector keeps
+    // working across generations; appended nodes start unsuspicious (0.0)
+    // until the next retrain rescores them.
+    if let Some(scores) = old.anomaly_scores() {
+        let mut scores = scores.to_vec();
+        scores.resize(rows, 0.0);
+        store = store.with_anomaly_scores(scores);
+    }
 
     // Incremental ANN maintenance on a clone of the pinned index.
     let ann = snap.ann.as_ref().map(|index| {
@@ -857,10 +971,14 @@ mod tests {
                 neighbors,
                 metric,
                 exact,
+                suspect,
             } => {
                 assert_eq!(neighbors.len(), 3);
                 assert_eq!(metric, "cosine");
                 assert!(exact);
+                // The test store carries no anomaly scores, so the detector
+                // stays out of the response entirely.
+                assert_eq!(suspect, None);
                 assert!(neighbors.iter().all(|n| n.node != 7));
                 // Engine answer equals a direct store call.
                 let direct = e.snapshot().store.top_k_node(7, 3, Metric::Cosine);
@@ -1195,5 +1313,114 @@ mod tests {
         );
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_delta_log_record_is_a_typed_checkpoint_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "aneci-delta-log-corrupt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("deltas.jsonl");
+        // One acknowledged record followed by a crash mid-append.
+        std::fs::write(
+            &log,
+            "{\"upserts\":[],\"deletes\":[3]}\n{\"upserts\":[{\"no",
+        )
+        .unwrap();
+
+        let z = gaussian_matrix(20, 4, 1.0, &mut seeded_rng(11));
+        let config = EngineConfig::builder()
+            .delta_log(log.clone())
+            .build()
+            .unwrap();
+        let err = match QueryEngine::try_new(EmbeddingStore::new(z, None), config) {
+            Ok(_) => panic!("corrupt delta log must not build an engine"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, AneciError::Checkpoint(_)),
+            "expected a checkpoint-integrity error, got {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("deltas.jsonl:2"), "{msg}");
+        assert!(msg.contains("corrupt or truncated"), "{msg}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn suspect_of(resp: &str) -> Option<bool> {
+        match serde_json::from_str::<Response>(resp).unwrap() {
+            Response::Neighbors { suspect, .. } => suspect,
+            other => panic!("expected neighbors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_anomalies_flag_poisoned_neighborhoods() {
+        let e = engine(EngineConfig::default());
+        let line = r#"{"op":"top_k","node":7,"k":3}"#;
+
+        // Unscored store: the detector stays out of the response.
+        assert_eq!(suspect_of(&e.run_line(line)), None);
+
+        // Score everything clean: checked, not flagged.
+        let n = e.snapshot().store.num_nodes();
+        let all: Vec<usize> = (0..n).collect();
+        e.inject_anomalies(&all, 0.0).unwrap();
+        assert_eq!(suspect_of(&e.run_line(line)), Some(false));
+
+        // Poison node 7's whole neighborhood: the top-k mass now sits on
+        // high-anomaly nodes and the response is flagged.
+        let hits = e.snapshot().store.top_k_node(7, 3, Metric::Cosine);
+        let targets: Vec<usize> = hits.iter().map(|&(id, _)| id).collect();
+        e.inject_anomalies(&targets, 0.95).unwrap();
+        assert_eq!(suspect_of(&e.run_line(line)), Some(true));
+
+        // A query whose neighborhood is clean is still unflagged.
+        let far = (0..n).find(|i| !targets.contains(i) && *i != 7).unwrap();
+        let clean_hits = e.snapshot().store.top_k_node(far, 3, Metric::Cosine);
+        if clean_hits.iter().all(|(id, _)| !targets.contains(id)) {
+            let clean_line = format!(r#"{{"op":"top_k","node":{far},"k":3}}"#);
+            assert_eq!(suspect_of(&e.run_line(&clean_line)), Some(false));
+        }
+    }
+
+    #[test]
+    fn inject_anomalies_validates_and_publishes_generations() {
+        let e = engine(EngineConfig::default());
+        let g0 = e.generation();
+        // Bad score and out-of-range target are typed refusals, no publish.
+        let (code, _) = e.inject_anomalies(&[0], 1.5).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+        let (code, _) = e.inject_anomalies(&[10_000], 0.5).unwrap_err();
+        assert_eq!(code, ErrorCode::NotFound);
+        assert_eq!(e.generation(), g0);
+
+        let g1 = e.inject_anomalies(&[2, 5], 0.9).unwrap();
+        assert_eq!(g1, g0 + 1);
+        let snap = e.snapshot();
+        let scores = snap.store.anomaly_scores().unwrap();
+        assert_eq!(scores[2], 0.9);
+        assert_eq!(scores[5], 0.9);
+        assert_eq!(scores[0], 0.0);
+        // Embeddings are untouched — only the detector's input changed.
+        assert_eq!(snap.store.num_nodes(), 120);
+    }
+
+    #[test]
+    fn anomaly_scores_survive_snapshot_updates() {
+        let e = engine(EngineConfig::default());
+        e.inject_anomalies(&[1], 0.8).unwrap();
+        e.apply_update(&SnapshotUpdate::new().upsert(120, vec![0.5; 8]))
+            .unwrap();
+        let snap = e.snapshot();
+        let scores = snap.store.anomaly_scores().unwrap();
+        assert_eq!(scores.len(), 121);
+        assert_eq!(scores[1], 0.8);
+        // Appended nodes start unsuspicious until the next retrain.
+        assert_eq!(scores[120], 0.0);
     }
 }

@@ -39,6 +39,11 @@ pub struct HttpConfig {
     pub max_header_bytes: usize,
     /// Body byte budget per request.
     pub max_body_bytes: usize,
+    /// Expose the test-only `POST /v1/admin/attack` route, which overwrites
+    /// anomaly scores via [`QueryEngine::inject_anomalies`] so operators can
+    /// rehearse poisoned-neighborhood detection end to end. Off by default;
+    /// while disabled the path is indistinguishable from any other 404.
+    pub admin_attack: bool,
 }
 
 impl Default for HttpConfig {
@@ -51,6 +56,7 @@ impl Default for HttpConfig {
             idle_timeout: Duration::from_secs(5),
             max_header_bytes: 8 * 1024,
             max_body_bytes: 1024 * 1024,
+            admin_attack: false,
         }
     }
 }
@@ -145,6 +151,12 @@ impl HttpConfigBuilder {
         self
     }
 
+    /// Expose the test-only `POST /v1/admin/attack` anomaly-injection route.
+    pub fn admin_attack(mut self, admin_attack: bool) -> Self {
+        self.config.admin_attack = admin_attack;
+        self
+    }
+
     /// Validates and returns the finished config.
     pub fn build(self) -> Result<HttpConfig, AneciError> {
         self.config.validate()?;
@@ -172,6 +184,7 @@ struct HttpMetrics {
     route_query: aneci_obs::Counter,
     route_query_batch: aneci_obs::Counter,
     route_reindex: aneci_obs::Counter,
+    route_attack: aneci_obs::Counter,
     route_shutdown: aneci_obs::Counter,
     route_unmatched: aneci_obs::Counter,
     legacy_redirects: aneci_obs::Counter,
@@ -195,6 +208,7 @@ impl HttpMetrics {
             route_query: aneci_obs::counter("serve.http.route.query"),
             route_query_batch: aneci_obs::counter("serve.http.route.query_batch"),
             route_reindex: aneci_obs::counter("serve.http.route.reindex"),
+            route_attack: aneci_obs::counter("serve.http.route.attack"),
             route_shutdown: aneci_obs::counter("serve.http.route.shutdown"),
             route_unmatched: aneci_obs::counter("serve.http.route.unmatched"),
             legacy_redirects: aneci_obs::counter("serve.http.legacy_redirects"),
@@ -717,6 +731,44 @@ fn route(shared: &Shared, request: &Request) -> Routed {
                     Routed::new(code.http_status(), JSON, error_body(code, message))
                 }
             }
+        }
+        ("POST", "/v1/admin/attack") if shared.config.admin_attack => {
+            shared.metrics.route_attack.inc();
+            #[derive(serde::Deserialize)]
+            struct AttackBody {
+                targets: Vec<usize>,
+                score: f64,
+            }
+            let body: AttackBody = match serde_json::from_slice(&request.body) {
+                Ok(body) => body,
+                Err(e) => {
+                    let body = error_body(
+                        ErrorCode::BadRequest,
+                        format!("bad attack body (expected {{\"targets\":[..],\"score\":s}}): {e}"),
+                    );
+                    return Routed::new(400, JSON, body);
+                }
+            };
+            match shared.engine.inject_anomalies(&body.targets, body.score) {
+                Ok(generation) => {
+                    let out = format!(
+                        r#"{{"kind":"attack","generation":{generation},"targets":{}}}"#,
+                        body.targets.len()
+                    );
+                    Routed::new(200, JSON, out.into_bytes())
+                }
+                Err((code, message)) => {
+                    Routed::new(code.http_status(), JSON, error_body(code, message))
+                }
+            }
+        }
+        (_, "/v1/admin/attack") if shared.config.admin_attack => {
+            shared.metrics.route_unmatched.inc();
+            let body = error_body(
+                ErrorCode::MethodNotAllowed,
+                format!("{method} is not supported on {path}"),
+            );
+            Routed::new(405, JSON, body)
         }
         ("POST", "/v1/admin/shutdown") => {
             shared.metrics.route_shutdown.inc();

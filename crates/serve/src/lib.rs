@@ -52,5 +52,5 @@ pub use engine::{
 };
 pub use hnsw::{recall_at_k, HnswConfig, HnswIndex};
 pub use http::{HttpConfig, HttpConfigBuilder, HttpServer, ServerHandle};
-pub use snapshot::{Snapshot, SnapshotHandle, SnapshotUpdate, StoreGuard, VectorUpsert};
+pub use snapshot::{Snapshot, SnapshotHandle, SnapshotUpdate, VectorUpsert};
 pub use store::{EmbeddingStore, Metric, Scored};

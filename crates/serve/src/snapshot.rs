@@ -16,7 +16,6 @@
 //! log (one JSON object per line), so a crashed server replays exactly the
 //! updates it acknowledged.
 
-use std::ops::Deref;
 use std::sync::{Arc, RwLock};
 
 use serde::{Deserialize, Serialize};
@@ -86,28 +85,6 @@ impl SnapshotHandle {
 
 fn lock_read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
     l.read().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
-/// A pinned view of one snapshot's store, kept alive for the guard's
-/// lifetime. This is what the deprecated `QueryEngine::store()` returns:
-/// existing `engine.store().top_k(...)` call sites keep compiling through
-/// `Deref`, while new code should pin a whole [`Snapshot`] via
-/// `engine.snapshot()`.
-pub struct StoreGuard(pub(crate) Arc<Snapshot>);
-
-impl StoreGuard {
-    /// The generation this guard pins.
-    pub fn generation(&self) -> u64 {
-        self.0.generation
-    }
-}
-
-impl Deref for StoreGuard {
-    type Target = EmbeddingStore;
-
-    fn deref(&self) -> &EmbeddingStore {
-        &self.0.store
-    }
 }
 
 /// One vector write in a [`SnapshotUpdate`]: replaces `node`'s vector when

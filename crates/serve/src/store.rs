@@ -62,6 +62,10 @@ pub struct EmbeddingStore {
     /// their id (so client-visible ids stay stable across snapshot swaps)
     /// but are filtered from every top-k result.
     deleted: Option<Vec<bool>>,
+    /// Per-node anomaly scores in `[0, 1]` (`None` = not scored). Carried
+    /// in every snapshot so the engine's poisoned-neighborhood detector can
+    /// flag top-k responses whose mass concentrates on anomalous nodes.
+    anomaly: Option<Vec<f64>>,
 }
 
 impl EmbeddingStore {
@@ -101,12 +105,41 @@ impl EmbeddingStore {
             membership,
             communities,
             deleted,
+            anomaly: None,
         }
     }
 
-    /// Builds a store straight from a loaded checkpoint.
+    /// Fluent: attaches per-node anomaly scores (length must match the node
+    /// count). The serving engine only runs poisoned-neighborhood detection
+    /// on snapshots that carry these.
+    pub fn with_anomaly_scores(mut self, scores: Vec<f64>) -> Self {
+        assert_eq!(
+            scores.len(),
+            self.embedding.rows(),
+            "anomaly scores must cover every embedded node"
+        );
+        self.anomaly = Some(scores);
+        self
+    }
+
+    /// Per-node anomaly scores, when the store carries them.
+    pub fn anomaly_scores(&self) -> Option<&[f64]> {
+        self.anomaly.as_deref()
+    }
+
+    /// The anomaly score of `node`, when scored.
+    pub fn anomaly_of(&self, node: usize) -> Option<f64> {
+        self.anomaly.as_ref().map(|a| a[node])
+    }
+
+    /// Builds a store straight from a loaded checkpoint. The checkpointed
+    /// membership doubles as the anomaly signal: each node's normalized
+    /// membership entropy (`aneci_core::anomaly::node_anomaly_scores`), so
+    /// every checkpoint-served snapshot is detection-ready.
     pub fn from_checkpoint(ckpt: &Checkpoint) -> Self {
+        let anomaly = aneci_core::anomaly::node_anomaly_scores(&ckpt.membership);
         Self::new(ckpt.embedding.clone(), Some(ckpt.membership.clone()))
+            .with_anomaly_scores(anomaly)
     }
 
     /// Number of embedded node slots, tombstoned ones included.

@@ -12,7 +12,7 @@ use aneci_core::{train_aneci, AneciConfig};
 use aneci_graph::karate_club;
 use aneci_serve::engine::{EngineConfig, QueryEngine};
 use aneci_serve::http::{client, HttpClient, HttpConfig, HttpServer, ServerHandle};
-use aneci_serve::store::EmbeddingStore;
+use aneci_serve::store::{EmbeddingStore, Metric};
 
 fn engine() -> Arc<QueryEngine> {
     let graph = karate_club();
@@ -212,6 +212,75 @@ fn reindex_route_publishes_a_generation_and_read_your_writes_holds() {
     assert!(r.text().contains(r#""code":"bad_request""#), "{}", r.text());
     let r = client::get(addr, "/v1/healthz").unwrap();
     assert!(r.text().contains(r#""generation":1"#), "{}", r.text());
+
+    handle.shutdown();
+}
+
+#[test]
+fn admin_attack_route_is_gated_and_drives_suspect_flags() {
+    // Disabled (the default): the route is indistinguishable from a 404.
+    let (_engine, handle) = default_server();
+    let r = client::post(
+        handle.addr(),
+        "/v1/admin/attack",
+        r#"{"targets":[0],"score":0.9}"#,
+    )
+    .unwrap();
+    assert_eq!(r.status, 404, "{}", r.text());
+    handle.shutdown();
+
+    // Enabled: the route rehearses poisoned-neighborhood detection.
+    let (engine, handle) = server(HttpConfig {
+        workers: 2,
+        queue_capacity: 8,
+        admin_attack: true,
+        ..HttpConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Wrong method → 405 (the gate reveals the route only when enabled).
+    let r = client::get(addr, "/v1/admin/attack").unwrap();
+    assert_eq!(r.status, 405);
+    // Malformed body → typed 400; bad score / bad target → typed 4xx.
+    let r = client::post(addr, "/v1/admin/attack", "{not json").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains(r#""code":"bad_request""#), "{}", r.text());
+    let r = client::post(addr, "/v1/admin/attack", r#"{"targets":[0],"score":7.0}"#).unwrap();
+    assert_eq!(r.status, 400);
+    let r = client::post(addr, "/v1/admin/attack", r#"{"targets":[999],"score":0.9}"#).unwrap();
+    assert_eq!(r.status, 404);
+
+    // Zero every score for a clean baseline, then poison the queried
+    // node's whole neighborhood and watch the response flip to suspect.
+    let n = engine.snapshot().store.num_nodes();
+    let all: Vec<usize> = (0..n).collect();
+    let body = format!(
+        r#"{{"targets":{},"score":0.0}}"#,
+        serde_json::to_string(&all).unwrap()
+    );
+    let r = client::post(addr, "/v1/admin/attack", &body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains(r#""kind":"attack""#), "{}", r.text());
+    let line = r#"{"op":"top_k","node":0,"k":5}"#;
+    let r = client::post(addr, "/v1/query", line).unwrap();
+    assert!(r.text().contains(r#""suspect":false"#), "{}", r.text());
+
+    let hits = engine.snapshot().store.top_k_node(0, 5, Metric::Cosine);
+    let targets: Vec<usize> = hits.iter().map(|&(id, _)| id).collect();
+    let body = format!(
+        r#"{{"targets":{},"score":0.95}}"#,
+        serde_json::to_string(&targets).unwrap()
+    );
+    let r = client::post(addr, "/v1/admin/attack", &body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    let r = client::post(addr, "/v1/query", line).unwrap();
+    assert!(r.text().contains(r#""suspect":true"#), "{}", r.text());
+
+    // The detector's counters moved.
+    let metrics = client::get(addr, "/v1/metrics").unwrap();
+    let text = metrics.text();
+    assert!(text.contains("serve.robust.checked"), "{text}");
+    assert!(text.contains("serve.http.route.attack"), "{text}");
 
     handle.shutdown();
 }

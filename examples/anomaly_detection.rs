@@ -41,12 +41,13 @@ fn main() {
     );
     for (name, types) in panels {
         // Corrupt 5% of nodes, matching the paper's setting.
-        let seeded = seed_outliers(&graph, 0.05, &types, seed);
-        let truth = &seeded.is_outlier;
+        let outcome = seed_outliers(&graph, 0.05, &types, seed);
+        let seeded = outcome.apply(&graph).expect("outlier delta");
+        let truth = &outcome.outlier_mask(graph.num_nodes());
 
         // GAE embedding scored with an isolation forest.
         let gae = Gae::fit(
-            &seeded.graph,
+            &seeded,
             &GaeConfig {
                 seed,
                 ..Default::default()
@@ -63,7 +64,7 @@ fn main() {
 
         // Dominant's own reconstruction-error score.
         let dominant = Dominant::fit(
-            &seeded.graph,
+            &seeded,
             &DominantConfig {
                 seed,
                 ..Default::default()
@@ -74,7 +75,7 @@ fn main() {
         // AnECI: anomalous nodes straddle communities → high membership
         // entropy, with the paper's early-stopping-on-modularity protocol.
         let config = AneciConfig::for_anomaly_detection(graph.num_classes(), 20, seed);
-        let (model, _) = train_aneci(&seeded.graph, &config).expect("training failed");
+        let (model, _) = train_aneci(&seeded, &config).expect("training failed");
         let scores = node_anomaly_scores(&model.membership());
         let auc_aneci = auc(&scores, truth);
 

@@ -58,18 +58,17 @@ fn main() {
 
     // Poison with 30% fake edges and retrain everything (poisoning attack).
     let attack = random_attack(&graph, 0.3, seed);
-    println!(
-        "injected {} fake edges (30% of |E|)",
-        attack.fake_edges.len()
-    );
+    let poisoned_graph = attack.apply(&graph).expect("random attack delta");
+    let fake_edges = attack.fake_edges();
+    println!("injected {} fake edges (30% of |E|)", fake_edges.len());
 
-    let (atk_aneci, _) = train_aneci(&attack.graph, &aneci_cfg).expect("training failed");
-    let atk_gae = Gae::fit(&attack.graph, &gae_cfg);
+    let (atk_aneci, _) = train_aneci(&poisoned_graph, &aneci_cfg).expect("training failed");
+    let atk_gae = Gae::fit(&poisoned_graph, &gae_cfg);
     println!(
         "{:<28}{:>8.3}{:>8.3}",
         "poisoned accuracy",
-        test_accuracy(&attack.graph, atk_gae.embedding(), seed),
-        test_accuracy(&attack.graph, atk_aneci.embedding(), seed),
+        test_accuracy(&poisoned_graph, atk_gae.embedding(), seed),
+        test_accuracy(&poisoned_graph, atk_aneci.embedding(), seed),
     );
 
     // Defense score: how well does each embedding isolate the fake edges?
@@ -77,17 +76,17 @@ fn main() {
     println!(
         "{:<28}{:>8.3}{:>8.3}",
         "defense score DS(0.3)",
-        defense_score(atk_gae.embedding(), &clean_edges, &attack.fake_edges),
-        defense_score(atk_aneci.embedding(), &clean_edges, &attack.fake_edges),
+        defense_score(atk_gae.embedding(), &clean_edges, fake_edges),
+        defense_score(atk_aneci.embedding(), &clean_edges, fake_edges),
     );
 
     // AnECI+ (Algorithm 1): score edges, drop the most anomalous, retrain.
-    let plus = aneci_plus(&attack.graph, &aneci_cfg, &DenoiseConfig::default(), None)
+    let plus = aneci_plus(&poisoned_graph, &aneci_cfg, &DenoiseConfig::default(), None)
         .expect("AnECI+ failed");
     let removed_fakes = plus
         .removed_edges
         .iter()
-        .filter(|e| attack.fake_edges.contains(e) || attack.fake_edges.contains(&(e.1, e.0)))
+        .filter(|e| fake_edges.contains(e) || fake_edges.contains(&(e.1, e.0)))
         .count();
     println!(
         "\nAnECI+ dropped {} edges (ρ = {:.2}); {} of them were fakes ({:.0}% of removals)",
@@ -98,6 +97,6 @@ fn main() {
     );
     println!(
         "AnECI+ poisoned accuracy: {:.3}",
-        test_accuracy(&attack.graph, plus.model.embedding(), seed)
+        test_accuracy(&poisoned_graph, plus.model.embedding(), seed)
     );
 }

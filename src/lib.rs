@@ -51,8 +51,9 @@ pub use aneci_serve as serve;
 pub mod prelude {
     pub use aneci_core::{
         aneci_plus, defense_score, node_anomaly_scores, train_aneci, AneciConfig,
-        AneciConfigBuilder, AneciError, AneciModel, BatchStrategy, DenoiseConfig, DriftGuard,
-        DriftStats, MiniBatchTrainer, ReconMode, StopStrategy, TrainReport,
+        AneciConfigBuilder, AneciError, AneciModel, AneciPlus, BatchStrategy, Defense,
+        DefenseOutcome, DenoiseConfig, DriftGuard, DriftStats, MiniBatchTrainer, NoDefense,
+        ReconMode, SmoothedEncoder, StopStrategy, TrainReport,
     };
     pub use aneci_eval::{accuracy, auc, kmeans_best_of, modularity, nmi};
     pub use aneci_graph::{
@@ -63,6 +64,6 @@ pub mod prelude {
     pub use aneci_serve::{
         EmbeddingStore, EngineConfig, EngineConfigBuilder, HttpConfig, HttpConfigBuilder,
         HttpServer, QueryEngine, QueryRequest, QueryResponse, ServerHandle, Snapshot,
-        SnapshotHandle, SnapshotUpdate, StoreGuard, VectorUpsert,
+        SnapshotHandle, SnapshotUpdate, VectorUpsert,
     };
 }

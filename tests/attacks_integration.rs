@@ -2,11 +2,18 @@
 //! (the Figs. 3–4 protocol) across `aneci-attacks`, `aneci-baselines`,
 //! `aneci-core` and `aneci-eval`.
 
-use aneci::attacks::{fga_attack, nettack_attack, select_targets, FgaConfig, NettackConfig};
+use aneci::attacks::{
+    fga_attack, nettack_attack, random_attack, seed_outliers, select_targets, Attack,
+    AttackOutcome, FgaAttack, FgaConfig, NettackAttack, NettackConfig, OutlierAttack, OutlierType,
+    RandomAttack,
+};
 use aneci::baselines::{GcnClassifier, GcnConfig};
 use aneci::core::{train_aneci, AneciConfig, StopStrategy};
 use aneci::eval::logreg::evaluate_embedding;
-use aneci::graph::{generate_sbm, sample_split, AttributedGraph, FeatureKind, SbmConfig};
+use aneci::graph::{
+    apply_to_csr, generate_sbm, sample_split, AttributedGraph, FeatureKind, HighOrder,
+    ProximityConfig, SbmConfig,
+};
 
 fn attack_bench(seed: u64) -> AttributedGraph {
     let config = SbmConfig {
@@ -66,11 +73,11 @@ fn nettack_pipeline_hurts_retrained_gcn() {
             ..Default::default()
         },
     );
-    atk.graph.validate().unwrap();
+    let attacked = atk.apply(&g).expect("nettack delta should apply cleanly");
     assert!(!atk.flips.is_empty(), "attack made no flips");
 
-    let poisoned = GcnClassifier::fit(&atk.graph, &gcn_cfg);
-    let poisoned_acc = poisoned.accuracy_on(&atk.graph, &targets);
+    let poisoned = GcnClassifier::fit(&attacked, &gcn_cfg);
+    let poisoned_acc = poisoned.accuracy_on(&attacked, &targets);
     assert!(
         poisoned_acc <= clean_acc,
         "NETTACK should not help the victim: {clean_acc:.3} -> {poisoned_acc:.3}"
@@ -113,8 +120,8 @@ fn fga_and_nettack_are_distinct_budgeted_attacks() {
         }
     }
     assert_ne!(
-        fga.graph.edge_list(),
-        net.graph.edge_list(),
+        fga.apply(&g).unwrap().edge_list(),
+        net.apply(&g).unwrap().edge_list(),
         "the two attacks should produce different perturbations"
     );
 }
@@ -150,15 +157,115 @@ fn aneci_retains_target_accuracy_under_nettack() {
         seed: 4,
         ..Default::default()
     };
-    let (model, _) = train_aneci(&atk.graph, &aneci_cfg).unwrap();
+    let attacked = atk.apply(&g).expect("nettack delta should apply cleanly");
+    let (model, _) = train_aneci(&attacked, &aneci_cfg).unwrap();
     let acc = evaluate_embedding(
         model.embedding(),
         &labels,
-        &atk.graph.split.train,
+        &attacked.split.train,
         &targets,
         3,
         4,
     );
     // Above chance by a wide margin even after the attack.
     assert!(acc > 0.55, "AnECI target accuracy under NETTACK: {acc:.3}");
+}
+
+/// Acceptance round trip for the unified attack API: every attack's
+/// `GraphDelta`, applied through `apply_to_csr` and folded into the serving
+/// pipeline's incremental `HighOrder::refresh`, reproduces a from-scratch
+/// `HighOrder::build` of the poisoned graph bit-for-bit.
+#[test]
+fn attack_delta_refresh_is_bit_exact_vs_full_rebuild() {
+    let g = attack_bench(11);
+    let targets = select_targets(&g, 8, 3);
+    let surrogate = GcnConfig {
+        epochs: 40,
+        seed: 11,
+        ..Default::default()
+    };
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(RandomAttack {
+            rate: 0.15,
+            seed: 11,
+        }),
+        Box::new(FgaAttack {
+            targets: targets.clone(),
+            config: FgaConfig {
+                surrogate: surrogate.clone(),
+                perturbations_per_target: 2,
+            },
+        }),
+        Box::new(NettackAttack {
+            targets,
+            config: NettackConfig {
+                surrogate,
+                perturbations_per_target: 2,
+                ..Default::default()
+            },
+        }),
+        Box::new(OutlierAttack {
+            fraction: 0.05,
+            types: vec![OutlierType::Structural],
+            seed: 11,
+        }),
+    ];
+    let prox = ProximityConfig::uniform(3);
+    let clean = HighOrder::build(g.adjacency(), &prox);
+
+    for attack in &attacks {
+        let outcome: AttackOutcome = attack.plan(&g);
+        assert!(
+            outcome.delta.touches_topology(),
+            "{}: attack produced no topology edits",
+            attack.name()
+        );
+
+        // Serving path: patch the CSR, refresh the prebuilt proximity.
+        let (new_adj, report) = apply_to_csr(g.adjacency(), &outcome.delta)
+            .unwrap_or_else(|e| panic!("{}: delta failed to apply: {e}", attack.name()));
+        let mut refreshed = clean.clone();
+        let rows = refreshed.refresh(&new_adj, &prox, &report);
+        assert!(rows > 0, "{}: refresh touched no rows", attack.name());
+
+        // Ground truth: full rebuild on the same poisoned adjacency.
+        let full = HighOrder::build(&new_adj, &prox);
+        assert_eq!(
+            refreshed.a_tilde,
+            full.a_tilde,
+            "{}: refreshed Ã diverges from full rebuild",
+            attack.name()
+        );
+        assert_eq!(refreshed.k_tilde, full.k_tilde, "{}: k̃", attack.name());
+        assert_eq!(refreshed.m_tilde, full.m_tilde, "{}: M̃", attack.name());
+
+        // And the graph-level application agrees with the raw CSR patch.
+        let applied = outcome.apply(&g).expect("validated application");
+        assert_eq!(applied.adjacency(), &new_adj, "{}", attack.name());
+    }
+}
+
+/// The four attack entry points and their trait forms emit identical deltas
+/// for identical inputs (the functional API is the trait's plan()).
+#[test]
+fn trait_and_function_attacks_agree() {
+    let g = attack_bench(12);
+    let f = random_attack(&g, 0.2, 12);
+    let t = RandomAttack {
+        rate: 0.2,
+        seed: 12,
+    }
+    .plan(&g);
+    assert_eq!(f.delta, t.delta);
+    assert_eq!(f.budget_spent, t.budget_spent);
+
+    let f = seed_outliers(&g, 0.05, &[OutlierType::Combined], 12);
+    let t = OutlierAttack {
+        fraction: 0.05,
+        types: vec![OutlierType::Combined],
+        seed: 12,
+    }
+    .plan(&g);
+    assert_eq!(f.delta, t.delta);
+    assert_eq!(f.outliers, t.outliers);
 }

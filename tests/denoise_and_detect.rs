@@ -42,8 +42,10 @@ fn quick_cfg(seed: u64) -> AneciConfig {
 fn denoising_enriches_fake_edge_removal() {
     let g = base_graph(1);
     let attack = random_attack(&g, 0.3, 1);
+    let poisoned = attack.apply(&g).unwrap();
+    let fake_edges = attack.fake_edges();
     let result = aneci_plus(
-        &attack.graph,
+        &poisoned,
         &quick_cfg(1),
         &DenoiseConfig {
             alpha: 6.0,
@@ -57,10 +59,10 @@ fn denoising_enriches_fake_edge_removal() {
     let removed_fakes = result
         .removed_edges
         .iter()
-        .filter(|e| attack.fake_edges.contains(e) || attack.fake_edges.contains(&(e.1, e.0)))
+        .filter(|e| fake_edges.contains(e) || fake_edges.contains(&(e.1, e.0)))
         .count();
     let removal_rate = removed_fakes as f64 / result.removed_edges.len() as f64;
-    let base_rate = attack.fake_edges.len() as f64 / attack.graph.num_edges() as f64;
+    let base_rate = fake_edges.len() as f64 / poisoned.num_edges() as f64;
     assert!(
         removal_rate > 1.3 * base_rate,
         "enrichment too weak: removed {removal_rate:.3} vs base {base_rate:.3}"
@@ -74,20 +76,15 @@ fn denoising_enriches_fake_edge_removal() {
 fn denoising_reduces_fake_edge_count() {
     let g = base_graph(2);
     let attack = random_attack(&g, 0.25, 2);
-    let result = aneci_plus(
-        &attack.graph,
-        &quick_cfg(2),
-        &DenoiseConfig::default(),
-        None,
-    )
-    .unwrap();
+    let poisoned = attack.apply(&g).unwrap();
+    let result = aneci_plus(&poisoned, &quick_cfg(2), &DenoiseConfig::default(), None).unwrap();
     let surviving_fakes = attack
-        .fake_edges
+        .fake_edges()
         .iter()
         .filter(|&&(u, v)| result.denoised_graph.has_edge(u, v))
         .count();
     assert!(
-        surviving_fakes < attack.fake_edges.len(),
+        surviving_fakes < attack.fake_edges().len(),
         "denoising removed no fake edges at all"
     );
 }
@@ -97,24 +94,26 @@ fn denoising_reduces_fake_edge_count() {
 #[test]
 fn outlier_detection_beats_chance() {
     let g = base_graph(3);
-    let seeded = seed_outliers(&g, 0.06, &[OutlierType::Structural], 3);
+    let outcome = seed_outliers(&g, 0.06, &[OutlierType::Structural], 3);
+    let seeded = outcome.apply(&g).unwrap();
+    let is_outlier = outcome.outlier_mask(g.num_nodes());
 
     let mut cfg = quick_cfg(3);
     cfg.epochs = 60;
-    let (model, _) = train_aneci(&seeded.graph, &cfg).unwrap();
+    let (model, _) = train_aneci(&seeded, &cfg).unwrap();
     let scores = node_anomaly_scores(&model.membership());
-    let auc_aneci = auc(&scores, &seeded.is_outlier);
+    let auc_aneci = auc(&scores, &is_outlier);
     assert!(auc_aneci > 0.6, "AnECI outlier AUC only {auc_aneci:.3}");
 
     let dom = Dominant::fit(
-        &seeded.graph,
+        &seeded,
         &DominantConfig {
             epochs: 50,
             seed: 3,
             ..Default::default()
         },
     );
-    let auc_dom = auc(dom.anomaly_scores(), &seeded.is_outlier);
+    let auc_dom = auc(dom.anomaly_scores(), &is_outlier);
     assert!(auc_dom > 0.5, "Dominant outlier AUC only {auc_dom:.3}");
 }
 
@@ -125,15 +124,10 @@ fn full_pipeline_is_reproducible() {
     let run = || {
         let g = base_graph(9);
         let attack = random_attack(&g, 0.2, 9);
-        let result = aneci_plus(
-            &attack.graph,
-            &quick_cfg(9),
-            &DenoiseConfig::default(),
-            None,
-        )
-        .unwrap();
+        let poisoned = attack.apply(&g).unwrap();
+        let result = aneci_plus(&poisoned, &quick_cfg(9), &DenoiseConfig::default(), None).unwrap();
         (
-            attack.fake_edges.clone(),
+            attack.fake_edges().to_vec(),
             result.removed_edges.clone(),
             result.model.embedding().clone(),
         )

@@ -92,20 +92,21 @@ fn community_pipeline_recovers_planted_partition() {
 fn aneci_defense_score_beats_gae_under_attack() {
     let g = small_benchmark(3);
     let attack = random_attack(&g, 0.3, 3);
+    let poisoned = attack.apply(&g).unwrap();
     let clean_edges = g.edge_list();
 
-    let (aneci, _) = train_aneci(&attack.graph, &quick_aneci(3)).unwrap();
-    let ds_aneci = aneci::core::defense_score(aneci.embedding(), &clean_edges, &attack.fake_edges);
+    let (aneci, _) = train_aneci(&poisoned, &quick_aneci(3)).unwrap();
+    let ds_aneci = aneci::core::defense_score(aneci.embedding(), &clean_edges, attack.fake_edges());
 
     let gae = Gae::fit(
-        &attack.graph,
+        &poisoned,
         &GaeConfig {
             epochs: 80,
             seed: 3,
             ..Default::default()
         },
     );
-    let ds_gae = aneci::core::defense_score(gae.embedding(), &clean_edges, &attack.fake_edges);
+    let ds_gae = aneci::core::defense_score(gae.embedding(), &clean_edges, attack.fake_edges());
 
     assert!(
         ds_aneci > ds_gae,
@@ -142,7 +143,7 @@ fn random_attack_degrades_gae_accuracy() {
         )
     };
     let clean = eval(&g);
-    let poisoned = eval(&random_attack(&g, 0.5, 4).graph);
+    let poisoned = eval(&random_attack(&g, 0.5, 4).apply(&g).unwrap());
     assert!(
         poisoned < clean + 0.02,
         "50% noise should not improve GAE: clean {clean:.3}, poisoned {poisoned:.3}"

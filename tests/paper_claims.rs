@@ -63,7 +63,7 @@ fn high_order_proximity_is_more_robust_than_first_order() {
     let mut high = 0.0;
     for seed in [7u64, 21] {
         let g = aneci::graph::Benchmark::Cora.generate(0.1, seed);
-        let attacked = random_attack(&g, 0.2, seed).graph;
+        let attacked = random_attack(&g, 0.2, seed).apply(&g).unwrap();
         first += accuracy_with_order(&attacked, 1, seed);
         high += accuracy_with_order(&attacked, 4, seed);
     }
